@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablation sweeps beyond the paper's tables: sensitivity of the control
+ * independence gain to the design points DESIGN.md calls out —
+ * PE count (window size), maximum trace length, and the CGCI
+ * re-convergence bound. Run on the two most CI-sensitive workloads.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace tproc;
+
+namespace
+{
+
+double
+gain(const Workload &w, ProcessorConfig ci, ProcessorConfig base)
+{
+    auto a = runConfig(w.program, ci, bench::benchInsts() / 2);
+    auto b = runConfig(w.program, base, bench::benchInsts() / 2);
+    return a.ipc() / b.ipc() - 1.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeaderNote(
+        "ABLATIONS: CI gain (FG+MLB-RET vs base) sensitivity");
+
+    for (const char *name : {"compress", "li"}) {
+        Workload w = makeWorkload(name, bench::benchSeed());
+        std::cout << "--- " << name << " ---\n";
+
+        {
+            TextTable t;
+            t.header({"PEs", "4", "8", "16", "32"});
+            std::vector<std::string> row = {"CI gain"};
+            for (int pes : {4, 8, 16, 32}) {
+                ProcessorConfig ci =
+                    ProcessorConfig::forModel("FG+MLB-RET");
+                ProcessorConfig base = ProcessorConfig::forModel("base");
+                ci.numPEs = base.numPEs = pes;
+                ci.verifyRetirement = base.verifyRetirement = false;
+                row.push_back(fmtPct(gain(w, ci, base), 1));
+            }
+            t.row(row);
+            t.print(std::cout);
+        }
+        {
+            TextTable t;
+            t.header({"max trace len", "8", "16", "32"});
+            std::vector<std::string> row = {"CI gain"};
+            for (int len : {8, 16, 32}) {
+                ProcessorConfig ci =
+                    ProcessorConfig::forModel("FG+MLB-RET");
+                ProcessorConfig base = ProcessorConfig::forModel("base");
+                ci.selection.maxTraceLen = base.selection.maxTraceLen =
+                    len;
+                ci.bit.maxTraceLen = base.bit.maxTraceLen = len;
+                ci.verifyRetirement = base.verifyRetirement = false;
+                row.push_back(fmtPct(gain(w, ci, base), 1));
+            }
+            t.row(row);
+            t.print(std::cout);
+        }
+        {
+            TextTable t;
+            t.header({"reconv. bound (cycles)", "32", "128", "1024"});
+            std::vector<std::string> row = {"CI gain"};
+            for (uint64_t bound : {32u, 128u, 1024u}) {
+                ProcessorConfig ci =
+                    ProcessorConfig::forModel("FG+MLB-RET");
+                ProcessorConfig base = ProcessorConfig::forModel("base");
+                ci.cgciReconvergeTimeout = bound;
+                ci.verifyRetirement = base.verifyRetirement = false;
+                row.push_back(fmtPct(gain(w, ci, base), 1));
+            }
+            t.row(row);
+            t.print(std::cout);
+        }
+        std::cout << '\n';
+    }
+
+    std::cout << "Expected shape: CI gains grow with window size (the "
+                 "paper simulates 16 PEs\n\"in anticipation of future "
+                 "large instruction windows\") and with trace length\n"
+                 "(FGCI needs regions to fit); the re-convergence bound "
+                 "matters little once\npast the typical insertion "
+                 "length.\n";
+    return 0;
+}

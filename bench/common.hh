@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration drivers.
+ *
+ * Every driver prints the paper's reference numbers next to the measured
+ * ones; the workloads are synthetic SPEC95 analogs (see DESIGN.md), so
+ * the *shape* — who wins, by roughly what factor, where crossovers fall —
+ * is the claim, not the absolute values.
+ */
+
+#ifndef TPROC_BENCH_COMMON_HH
+#define TPROC_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/runner.hh"
+#include "workloads/workloads.hh"
+
+namespace tproc::bench
+{
+
+/** Instructions simulated per benchmark per configuration. Override with
+ *  TPROC_BENCH_INSTS for quicker or longer runs. */
+inline uint64_t
+benchInsts()
+{
+    if (const char *e = std::getenv("TPROC_BENCH_INSTS"))
+        return std::strtoull(e, nullptr, 10);
+    return 400000;
+}
+
+inline uint64_t
+benchSeed()
+{
+    if (const char *e = std::getenv("TPROC_BENCH_SEED"))
+        return std::strtoull(e, nullptr, 10);
+    return 1;
+}
+
+/** Golden-model verification on/off (on by default: it is cheap and a
+ *  silent wrong-path bug would invalidate the numbers). */
+inline bool
+benchVerify()
+{
+    if (const char *e = std::getenv("TPROC_BENCH_VERIFY"))
+        return std::atoi(e) != 0;
+    return true;
+}
+
+/** Run one workload on one named model. */
+inline ProcessorStats
+runOne(const Workload &w, const std::string &model)
+{
+    return runModel(w.program, model, benchInsts(), benchVerify());
+}
+
+/** Run all workloads on a set of models; result[workload][model]. */
+inline std::map<std::string, std::map<std::string, ProcessorStats>>
+runMatrix(const std::vector<std::string> &models)
+{
+    std::map<std::string, std::map<std::string, ProcessorStats>> out;
+    for (const auto &w : makeAllWorkloads(benchSeed())) {
+        for (const auto &m : models) {
+            std::cerr << "  running " << w.name << " / " << m << "...\n";
+            out[w.name][m] = runOne(w, m);
+        }
+    }
+    return out;
+}
+
+inline void
+printHeaderNote(const char *what)
+{
+    std::cout << what << "\n"
+              << "(synthetic SPEC95-analog workloads; "
+              << benchInsts() << " instructions per run, seed "
+              << benchSeed() << "; see DESIGN.md for the substitution "
+              << "rationale)\n\n";
+}
+
+} // namespace tproc::bench
+
+#endif // TPROC_BENCH_COMMON_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table 1: the trace processor configuration. Prints the simulated
+ * machine's parameters straight from ProcessorConfig so the
+ * configuration the experiments run under is self-documenting.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "core/config.hh"
+
+using namespace tproc;
+
+int
+main()
+{
+    ProcessorConfig cfg = ProcessorConfig::forModel("base");
+    TextTable t;
+    t.header({"parameter", "value"});
+    t.row({"frontend latency",
+           std::to_string(cfg.frontendLatency) + " cycles (fetch + dispatch)"});
+    t.row({"trace predictor",
+           "hybrid: 2^16-entry path-based (8-trace hist.) + 2^16 simple"});
+    t.row({"trace cache",
+           std::to_string(cfg.tcache.sizeBytes / 1024) + "kB / " +
+           std::to_string(cfg.tcache.assoc) + "-way / LRU, line = " +
+           std::to_string(cfg.tcache.lineInsts) + " instructions"});
+    t.row({"instruction cache",
+           std::to_string(cfg.icache.sizeBytes / 1024) + "kB / " +
+           std::to_string(cfg.icache.assoc) + "-way / LRU, line = " +
+           std::to_string(cfg.icache.lineInsts) + " instr, miss = " +
+           std::to_string(cfg.icache.missPenalty) + " cycles"});
+    t.row({"branch predictor",
+           std::to_string(cfg.btbEntries / 1024) +
+           "K-entry tagless BTB, 2-bit counters"});
+    t.row({"BIT", std::to_string(cfg.bit.entries / 1024) + "K-entry, " +
+           std::to_string(cfg.bit.assoc) + "-way assoc."});
+    t.row({"trace construction b/w",
+           "1 port to instr. cache, branch pred., BIT"});
+    t.row({"processing elements",
+           std::to_string(cfg.numPEs) + " PEs, " +
+           std::to_string(cfg.issuePerPe) + "-way issue per PE"});
+    t.row({"max trace length",
+           std::to_string(cfg.selection.maxTraceLen) + " instructions"});
+    t.row({"global result buses",
+           std::to_string(cfg.globalBuses) + " buses, up to " +
+           std::to_string(cfg.maxBusesPerPe) +
+           " per PE, +1 cycle inter-PE bypass"});
+    t.row({"cache buses",
+           std::to_string(cfg.cacheBuses) + " buses, up to " +
+           std::to_string(cfg.maxCacheBusesPerPe) + " per PE"});
+    t.row({"data cache",
+           std::to_string(cfg.dcache.sizeBytes / 1024) + "kB / " +
+           std::to_string(cfg.dcache.assoc) + "-way / LRU, line = " +
+           std::to_string(cfg.dcache.lineBytes) + "B, hit = " +
+           std::to_string(cfg.dcache.hitLatency) + ", miss = +" +
+           std::to_string(cfg.dcache.missPenalty) + " cycles"});
+    t.row({"exec latencies",
+           "agen 1, mem 2 (hit), ALU 1, mul 5, div 20 (R10000-like)"});
+    t.row({"load re-issue penalty",
+           std::to_string(cfg.loadReissuePenalty) + " cycle (snoop)"});
+
+    std::cout << "TABLE 1: trace processor configuration\n\n";
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * FGCI demonstration: sweep the predictability of a hammock branch and
+ * compare the base processor against the FG model. The less predictable
+ * the branch, the more fine-grain control independence pays — repairing
+ * within the PE instead of squashing every younger trace.
+ *
+ * Also prints the FGCI-algorithm's view of the region (re-convergent
+ * point, dynamic region size), exercising the analysis API directly.
+ */
+
+#include <iostream>
+
+#include "common/stats.hh"
+#include "core/runner.hh"
+#include "trace/fgci.hh"
+#include "workloads/patterns.hh"
+
+using namespace tproc;
+
+namespace
+{
+
+Program
+hammockProgram(double bias, uint64_t seed, Addr *branch_pc)
+{
+    ProgramBuilder b("hammock");
+    Rng rng(seed);
+    PatternContext cx(b, rng, 1 << 20);
+
+    b.li(PatternContext::idx, 0);
+    b.li(PatternContext::cnt, 4000);
+    auto top = b.newLabel();
+    b.bind(top);
+    b.addi(PatternContext::idx, PatternContext::idx, 1);
+
+    *branch_pc = b.here() + 4;  // after the 4-instruction flag load
+    HammockOpts o;
+    o.takenBias = bias;
+    o.thenLen = 6;
+    o.elseLen = 5;
+    kHammock(cx, PatternContext::out(0), PatternContext::out(1), o);
+
+    // Plenty of control independent work after the join.
+    kCompute(cx, PatternContext::out(2), 16);
+    kCompute(cx, PatternContext::out(3), 16);
+
+    b.addi(PatternContext::cnt, PatternContext::cnt, -1);
+    b.bne(PatternContext::cnt, regZero, top);
+    b.halt();
+    return b.finish();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "FGCI case study: one hammock + control independent "
+                 "work, sweeping branch bias\n\n";
+
+    TextTable t;
+    t.header({"taken bias", "base IPC", "FG IPC", "FG gain",
+              "FGCI recoveries", "traces preserved"});
+
+    for (double bias : {0.95, 0.9, 0.8, 0.7, 0.6, 0.5}) {
+        Addr branch_pc = 0;
+        Program prog = hammockProgram(bias, 42, &branch_pc);
+
+        if (bias == 0.95) {
+            // Show the hardware FGCI analysis of this region once.
+            FgciResult r = analyzeFgci(prog, branch_pc, 32);
+            std::cout << "FGCI-algorithm on the hammock branch (pc "
+                      << branch_pc << "): embeddable="
+                      << (r.embeddable ? "yes" : "no")
+                      << ", re-convergent pc=" << r.reconvPc
+                      << ", dynamic region size=" << r.regionSize
+                      << ", scan latency=" << r.scannedInsts
+                      << " cycles\n\n";
+        }
+
+        ProcessorStats base = runModel(prog, "base");
+        ProcessorStats fg = runModel(prog, "FG");
+        t.row({fmtDouble(bias, 2), fmtDouble(base.ipc(), 2),
+               fmtDouble(fg.ipc(), 2),
+               fmtPct(fg.ipc() / base.ipc() - 1.0, 1),
+               std::to_string(fg.recoveriesFgci),
+               std::to_string(fg.tracesPreserved)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nExpected: the FG advantage grows as the branch gets "
+                 "less predictable, because\neach misprediction repairs "
+                 "one PE instead of squashing the whole window.\n";
+    return 0;
+}

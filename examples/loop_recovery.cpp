@@ -1,0 +1,81 @@
+/**
+ * @file
+ * CGCI demonstration: loops with unpredictable exit counts followed by
+ * control independent work — the Mispredicted Loop Branch (MLB)
+ * heuristic's home turf. Compares base, base(ntb) (selection cost
+ * alone), and MLB-RET (selection cost + coarse-grain recovery), and
+ * shows the re-convergence statistics.
+ */
+
+#include <iostream>
+
+#include "common/stats.hh"
+#include "core/runner.hh"
+#include "workloads/patterns.hh"
+
+using namespace tproc;
+
+namespace
+{
+
+Program
+loopProgram(int max_trips, uint64_t seed)
+{
+    ProgramBuilder b("loops");
+    Rng rng(seed);
+    PatternContext cx(b, rng, 1 << 20);
+
+    b.li(PatternContext::idx, 0);
+    b.li(PatternContext::cnt, 3000);
+    auto top = b.newLabel();
+    b.bind(top);
+    b.addi(PatternContext::idx, PatternContext::idx, 1);
+
+    // The unpredictable-exit loop: its backward branch mispredicts at
+    // essentially every exit.
+    kInnerLoop(cx, PatternContext::out(0), max_trips, 2);
+
+    // Control independent work after the loop exit: preserved by CGCI.
+    kCompute(cx, PatternContext::out(1), 20);
+    kMemOps(cx, PatternContext::out(2), 1024, 1);
+    kCompute(cx, PatternContext::out(3), 12);
+
+    b.addi(PatternContext::cnt, PatternContext::cnt, -1);
+    b.bne(PatternContext::cnt, regZero, top);
+    b.halt();
+    return b.finish();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "CGCI case study: data-dependent loop trip counts + "
+                 "control independent work\n\n";
+
+    TextTable t;
+    t.header({"max trips", "base", "base(ntb)", "MLB-RET", "gain vs base",
+              "cgci recov", "reconverged", "abandoned"});
+
+    for (int trips : {2, 4, 8, 16, 32}) {
+        Program prog = loopProgram(trips, 7);
+        ProcessorStats base = runModel(prog, "base");
+        ProcessorStats ntb = runModel(prog, "base(ntb)");
+        ProcessorStats mlb = runModel(prog, "MLB-RET");
+        t.row({std::to_string(trips), fmtDouble(base.ipc(), 2),
+               fmtDouble(ntb.ipc(), 2), fmtDouble(mlb.ipc(), 2),
+               fmtPct(mlb.ipc() / base.ipc() - 1.0, 1),
+               std::to_string(mlb.recoveriesCgci),
+               std::to_string(mlb.cgciReconverged),
+               std::to_string(mlb.cgciAbandoned)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nThe ntb selection constraint alone costs a little "
+                 "(shorter traces); the MLB\nheuristic then recovers "
+                 "loop-exit mispredictions by re-converging at the\n"
+                 "loop's not-taken target, preserving the traces beyond "
+                 "the loop.\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quickstart: build a tiny program with the ProgramBuilder DSL, run it on
+ * the base trace processor and on the full control-independence model,
+ * and print the statistics. Start here to learn the public API.
+ */
+
+#include <iostream>
+
+#include "common/stats.hh"
+#include "core/runner.hh"
+#include "program/builder.hh"
+
+using namespace tproc;
+
+int
+main()
+{
+    // A small loop with a data-dependent hammock inside: the branch at
+    // `then_lab` is exactly the fine-grain control independence shape.
+    ProgramBuilder b("quickstart");
+
+    constexpr ArchReg cnt = 3, x = 4, y = 5, par = 6;
+    b.li(cnt, 2000);
+    b.li(x, 0);
+    b.li(y, 0);
+
+    auto top = b.newLabel();
+    b.bind(top);
+    b.andi(par, cnt, 3);                // pseudo-data: cnt mod 4
+    auto then_lab = b.newLabel();
+    auto join = b.newLabel();
+    b.bne(par, regZero, then_lab);      // if (cnt % 4 != 0)
+    b.addi(x, x, 2);                    //   else-path work
+    b.addi(x, x, 2);
+    b.jmp(join);
+    b.bind(then_lab);
+    b.xori(x, x, 7);                    //   then-path work
+    b.bind(join);
+    b.addi(y, y, 1);                    // control independent work
+    b.addi(y, y, 3);
+    b.addi(cnt, cnt, -1);
+    b.bne(cnt, regZero, top);
+    b.halt();
+
+    Program prog = b.finish();
+    std::cout << "program: " << prog.size() << " static instructions\n\n";
+
+    // Run to completion on two models. Golden-model verification is on:
+    // every retired instruction is checked against a functional
+    // emulator, so the printed IPC is for a correct execution.
+    ProcessorStats base = runModel(prog, "base");
+    ProcessorStats ci = runModel(prog, "FG+MLB-RET");
+
+    printStats(std::cout, "base trace processor", base);
+    std::cout << '\n';
+    printStats(std::cout, "with control independence (FG+MLB-RET)", ci);
+
+    std::cout << "\ncontrol independence speedup: "
+              << fmtDouble(100.0 * (ci.ipc() / base.ipc() - 1.0), 1)
+              << "%\n";
+    return 0;
+}

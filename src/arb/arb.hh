@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Address Resolution Buffer variant (Franklin & Sohi ARB, as used in
+ * Section 2.2.2): keeps speculative store versions per address ordered by
+ * sequence number, answers loads with the correct earlier version, and
+ * snoops store performs / store undos to detect loads that consumed the
+ * wrong version and must selectively reissue.
+ *
+ * Sequence numbers are (logical trace order, slot in trace). Because CGCI
+ * inserts and removes traces in the middle of the window, logical order
+ * is not derivable from physical PE numbers: the processor supplies an
+ * ordering callback backed by the linked-list control structure (the
+ * paper's physical-to-logical translation table).
+ */
+
+#ifndef TPROC_ARB_ARB_HH
+#define TPROC_ARB_ARB_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "emulator/emulator.hh"
+
+namespace tproc
+{
+
+/** Identifies a load/store by its trace instance and slot. */
+struct SeqTag
+{
+    TraceUid uid = invalidTraceUid;
+    int slot = -1;
+
+    bool valid() const { return uid != invalidTraceUid; }
+    bool operator==(const SeqTag &o) const = default;
+};
+
+class Arb
+{
+  public:
+    /**
+     * Ordering callback: the logical sequence position of a trace in the
+     * current window. Retired traces must order below every in-window
+     * trace; the callback is only consulted for uids with live ARB
+     * entries, all of which are in the window.
+     */
+    using OrderFn = std::function<int64_t(TraceUid)>;
+
+    explicit Arb(OrderFn order_fn);
+
+    /** @name Store side. */
+    /// @{
+    /** A store performs (possibly again, after reissue): inserts or
+     *  updates its version and snoops loads for violations. */
+    void storePerform(TraceUid uid, int slot, Addr addr, int64_t value);
+
+    /** A performed store is removed (squash, or re-execution to a new
+     *  address): loads that consumed it must reissue. */
+    void storeUndo(TraceUid uid, int slot);
+
+    /** Head-trace store commits: version leaves the ARB into memory. */
+    void commitStore(TraceUid uid, int slot, SparseMemory &mem);
+
+    bool storePerformed(TraceUid uid, int slot) const;
+    /// @}
+
+    /** @name Load side. */
+    /// @{
+    struct LoadResult
+    {
+        int64_t value = 0;
+        SeqTag src;             //!< supplying store; invalid = from memory
+        bool fromStore = false;
+    };
+
+    /** A load executes: returns the latest logically-earlier version, or
+     *  the memory value; registers the load for snooping. */
+    LoadResult loadAccess(TraceUid uid, int slot, Addr addr,
+                          const SparseMemory &mem);
+
+    /** Remove a load from snoop lists (retire, squash, or just before it
+     *  reissues). */
+    void loadRemove(TraceUid uid, int slot);
+    /// @}
+
+    /** Drain the set of loads that must selectively reissue. */
+    std::vector<SeqTag> takeViolations();
+
+    /** Number of live store versions (diagnostics / invariants). */
+    size_t storeCount() const { return storeIndex.size(); }
+    size_t loadCount() const { return loadIndex.size(); }
+
+    uint64_t violations = 0;
+
+  private:
+    struct StoreVersion
+    {
+        TraceUid uid;
+        int slot;
+        int64_t value;
+    };
+
+    struct LoadEntry
+    {
+        TraceUid uid;
+        int slot;
+        SeqTag src;         //!< version consumed (invalid = memory)
+        int64_t observed;   //!< value the load obtained
+    };
+
+    struct TagHash
+    {
+        size_t
+        operator()(const SeqTag &t) const noexcept
+        {
+            return std::hash<uint64_t>()(t.uid * 64 +
+                                         static_cast<uint64_t>(t.slot + 1));
+        }
+    };
+
+    /** Total order over memory operations. */
+    int64_t seqOf(TraceUid uid, int slot) const;
+
+    void flagViolation(const SeqTag &load);
+
+    OrderFn order;
+    std::unordered_map<Addr, std::vector<StoreVersion>> stores;
+    std::unordered_map<Addr, std::vector<LoadEntry>> loads;
+    std::unordered_map<SeqTag, Addr, TagHash> storeIndex;
+    std::unordered_map<SeqTag, Addr, TagHash> loadIndex;
+    std::vector<SeqTag> pendingViolations;
+};
+
+} // namespace tproc
+
+#endif // TPROC_ARB_ARB_HH

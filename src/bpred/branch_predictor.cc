@@ -1,0 +1,43 @@
+#include "bpred/branch_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace tproc
+{
+
+BranchPredictor::BranchPredictor(size_t entries)
+    : mask(entries - 1), table(entries, SatCounter(2, 1)),
+      targets(entries, invalidAddr)
+{
+    panic_if(entries == 0 || (entries & (entries - 1)) != 0,
+             "BranchPredictor: entries must be a power of two");
+}
+
+bool
+BranchPredictor::predict(Addr pc) const
+{
+    return table[index(pc)].isSet();
+}
+
+void
+BranchPredictor::update(Addr pc, bool taken)
+{
+    if (taken)
+        table[index(pc)].increment();
+    else
+        table[index(pc)].decrement();
+}
+
+Addr
+BranchPredictor::predictTarget(Addr pc) const
+{
+    return targets[index(pc)];
+}
+
+void
+BranchPredictor::updateTarget(Addr pc, Addr target)
+{
+    targets[index(pc)] = target;
+}
+
+} // namespace tproc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Conditional branch predictor per Table 1: a 16K-entry tagless BTB of
+ * 2-bit counters, indexed by branch pc. Used during trace construction
+ * and trace repair (the next-trace predictor handles trace-level
+ * sequencing; this simple predictor supplies per-branch outcomes when a
+ * trace must be built or repaired instruction by instruction).
+ */
+
+#ifndef TPROC_BPRED_BRANCH_PREDICTOR_HH
+#define TPROC_BPRED_BRANCH_PREDICTOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+
+namespace tproc
+{
+
+class BranchPredictor
+{
+  public:
+    /** @param entries number of BTB entries (power of two). */
+    explicit BranchPredictor(size_t entries = 16 * 1024);
+
+    /** Predict the direction of the conditional branch at pc. */
+    bool predict(Addr pc) const;
+
+    /** Train with the resolved outcome. */
+    void update(Addr pc, bool taken);
+
+    uint64_t lookups = 0;
+    uint64_t mispredicts = 0;
+
+    /** Convenience: predict, count accuracy against actual, update. */
+    bool
+    predictAndTrain(Addr pc, bool actual_taken)
+    {
+        bool pred = predict(pc);
+        ++lookups;
+        if (pred != actual_taken)
+            ++mispredicts;
+        update(pc, actual_taken);
+        return pred;
+    }
+
+    /** Predict the target of the indirect branch at pc (last-target
+     *  BTB behaviour); invalidAddr if never seen. */
+    Addr predictTarget(Addr pc) const;
+
+    /** Record the resolved target of an indirect branch. */
+    void updateTarget(Addr pc, Addr target);
+
+  private:
+    size_t index(Addr pc) const { return pc & mask; }
+
+    size_t mask;
+    std::vector<SatCounter> table;
+    std::vector<Addr> targets;
+};
+
+} // namespace tproc
+
+#endif // TPROC_BPRED_BRANCH_PREDICTOR_HH

@@ -1,0 +1,25 @@
+#include "cache/dcache.hh"
+
+namespace tproc
+{
+
+DCache::DCache(const Params &p)
+    : cache(p.sizeBytes, p.assoc, p.lineBytes), hitLatency(p.hitLatency),
+      missPenalty(p.missPenalty)
+{
+}
+
+int
+DCache::loadLatency(Addr word_addr)
+{
+    bool hit = cache.access(word_addr * wordBytes);
+    return hit ? hitLatency : hitLatency + missPenalty;
+}
+
+void
+DCache::storeCommit(Addr word_addr)
+{
+    cache.fill(word_addr * wordBytes);
+}
+
+} // namespace tproc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Data cache timing model (Table 1): 64KB / 4-way / LRU, 64-byte lines,
+ * 2-cycle hit, 14-cycle miss penalty. Accessed by loads that are not
+ * satisfied by a speculative version in the ARB; stores update it when
+ * they commit at retirement.
+ */
+
+#ifndef TPROC_CACHE_DCACHE_HH
+#define TPROC_CACHE_DCACHE_HH
+
+#include "cache/set_assoc_cache.hh"
+
+namespace tproc
+{
+
+class DCache
+{
+  public:
+    struct Params
+    {
+        size_t sizeBytes = 64 * 1024;
+        size_t assoc = 4;
+        size_t lineBytes = 64;
+        int hitLatency = 2;     //!< memory access = 2 cycles (hit)
+        int missPenalty = 14;
+    };
+
+    DCache() : DCache(Params()) {}
+    explicit DCache(const Params &p);
+
+    /** Access latency for a load of the word at word address addr
+     *  (allocates on miss). */
+    int loadLatency(Addr word_addr);
+
+    /** A store committing at retirement (write-allocate, no stall). */
+    void storeCommit(Addr word_addr);
+
+    const SetAssocCache &tags() const { return cache; }
+    void reset() { cache.reset(); }
+
+  private:
+    static constexpr size_t wordBytes = 8;
+    SetAssocCache cache;
+    int hitLatency;
+    int missPenalty;
+};
+
+} // namespace tproc
+
+#endif // TPROC_CACHE_DCACHE_HH

@@ -1,0 +1,34 @@
+#include "cache/icache.hh"
+
+namespace tproc
+{
+
+ICache::ICache(const Params &p)
+    : cache(p.sizeBytes, p.assoc, p.lineInsts * instBytes),
+      lineInsts(p.lineInsts), missPenalty(p.missPenalty)
+{
+}
+
+int
+ICache::fetchCost(Addr start, size_t count)
+{
+    ++fetches;
+    if (count == 0)
+        return 0;
+
+    Addr first_line = start / lineInsts;
+    Addr last_line = (start + count - 1) / lineInsts;
+
+    int cost = 1;   // one cycle for the basic-block fetch itself
+    for (Addr line = first_line; line <= last_line; ++line) {
+        if (!cache.access(line * lineInsts * instBytes))
+            cost += missPenalty;
+        // The 2-way interleave lets a block straddle two lines in the
+        // same cycle; beyond that, an extra cycle per additional line.
+        if (line > first_line + 1)
+            cost += 1;
+    }
+    return cost;
+}
+
+} // namespace tproc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Instruction cache timing model (Table 1): 64KB / 4-way / LRU, 16-word
+ * lines, 12-cycle miss penalty, 2-way interleaved with a fetch bandwidth
+ * of one basic block per cycle. Used by trace construction and repair.
+ */
+
+#ifndef TPROC_CACHE_ICACHE_HH
+#define TPROC_CACHE_ICACHE_HH
+
+#include "cache/set_assoc_cache.hh"
+
+namespace tproc
+{
+
+class ICache
+{
+  public:
+    struct Params
+    {
+        size_t sizeBytes = 64 * 1024;
+        size_t assoc = 4;
+        size_t lineInsts = 16;      //!< instructions per line
+        int missPenalty = 12;       //!< cycles
+    };
+
+    ICache() : ICache(Params()) {}
+    explicit ICache(const Params &p);
+
+    /**
+     * Charge the latency of fetching a straight-line run of instructions
+     * [start, start+count). Cost is one cycle per line touched (basic
+     * blocks arrive one per cycle, and a block spanning two lines uses
+     * both interleaved banks) plus the miss penalty per missing line.
+     */
+    int fetchCost(Addr start, size_t count);
+
+    const SetAssocCache &tags() const { return cache; }
+    void reset() { cache.reset(); }
+
+    uint64_t fetches = 0;
+
+  private:
+    static constexpr size_t instBytes = 4;
+    SetAssocCache cache;
+    size_t lineInsts;
+    int missPenalty;
+};
+
+} // namespace tproc
+
+#endif // TPROC_CACHE_ICACHE_HH

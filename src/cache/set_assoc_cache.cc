@@ -1,0 +1,106 @@
+#include "cache/set_assoc_cache.hh"
+
+#include "common/logging.hh"
+
+namespace tproc
+{
+
+SetAssocCache::SetAssocCache(size_t size_bytes, size_t assoc,
+                             size_t line_bytes)
+    : sets(size_bytes / (assoc * line_bytes)), ways(assoc),
+      lineSize(line_bytes), array(sets * ways)
+{
+    panic_if(sets == 0 || (sets & (sets - 1)) != 0,
+             "SetAssocCache: set count must be a nonzero power of two "
+             "(size=%zu assoc=%zu line=%zu)", size_bytes, assoc, line_bytes);
+}
+
+bool
+SetAssocCache::probe(Addr byte_addr) const
+{
+    Addr line = lineAddr(byte_addr);
+    size_t set = setIndex(line);
+    Addr tag = tagOf(line);
+    for (size_t w = 0; w < ways; ++w) {
+        const Way &way = array[set * ways + w];
+        if (way.valid && way.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::access(Addr byte_addr)
+{
+    ++accesses;
+    ++useClock;
+    Addr line = lineAddr(byte_addr);
+    size_t set = setIndex(line);
+    Addr tag = tagOf(line);
+
+    size_t victim = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (size_t w = 0; w < ways; ++w) {
+        Way &way = array[set * ways + w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = useClock;
+            return true;
+        }
+        if (!way.valid) {
+            victim = w;
+            oldest = 0;
+        } else if (way.lastUse < oldest) {
+            victim = w;
+            oldest = way.lastUse;
+        }
+    }
+
+    ++misses;
+    Way &way = array[set * ways + victim];
+    way.valid = true;
+    way.tag = tag;
+    way.lastUse = useClock;
+    return false;
+}
+
+void
+SetAssocCache::fill(Addr byte_addr)
+{
+    ++useClock;
+    Addr line = lineAddr(byte_addr);
+    size_t set = setIndex(line);
+    Addr tag = tagOf(line);
+
+    size_t victim = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (size_t w = 0; w < ways; ++w) {
+        Way &way = array[set * ways + w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = useClock;
+            return;
+        }
+        if (!way.valid) {
+            victim = w;
+            oldest = 0;
+        } else if (way.lastUse < oldest) {
+            victim = w;
+            oldest = way.lastUse;
+        }
+    }
+    Way &way = array[set * ways + victim];
+    way.valid = true;
+    way.tag = tag;
+    way.lastUse = useClock;
+}
+
+void
+SetAssocCache::reset()
+{
+    for (auto &w : array)
+        w.valid = false;
+    accesses = 0;
+    misses = 0;
+    useClock = 0;
+}
+
+} // namespace tproc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Error / status reporting in the gem5 style: panic() for simulator bugs,
+ * fatal() for user errors, warn()/inform() for status messages.
+ */
+
+#ifndef TPROC_COMMON_LOGGING_HH
+#define TPROC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace tproc
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace tproc
+
+/** Something happened that should never happen: a simulator bug. */
+#define panic(...) ::tproc::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** The simulation cannot continue due to a user error. */
+#define fatal(...) ::tproc::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define warn(...) ::tproc::warnImpl(__VA_ARGS__)
+#define inform(...) ::tproc::informImpl(__VA_ARGS__)
+
+/** Cheap always-on invariant check with formatted message. */
+#define panic_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            panic(__VA_ARGS__);                                              \
+    } while (0)
+
+#endif // TPROC_COMMON_LOGGING_HH

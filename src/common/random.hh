@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic, seedable xorshift64* random number generator. All
+ * randomness in the repository flows through this so every experiment is
+ * reproducible from its printed seed.
+ */
+
+#ifndef TPROC_COMMON_RANDOM_HH
+#define TPROC_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace tproc
+{
+
+/** xorshift64* PRNG (Vigna). Small, fast, deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(
+            static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw: true with probability p. */
+    bool
+    chance(double p)
+    {
+        return static_cast<double>(next() >> 11) *
+            (1.0 / 9007199254740992.0) < p;
+    }
+
+    /** Geometric draw: number of successes before first failure, with
+     *  continue-probability p. Mean is p/(1-p). Capped at cap. */
+    uint64_t
+    geometric(double p, uint64_t cap)
+    {
+        uint64_t n = 0;
+        while (n < cap && chance(p))
+            ++n;
+        return n;
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace tproc
+
+#endif // TPROC_COMMON_RANDOM_HH

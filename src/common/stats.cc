@@ -1,0 +1,107 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace tproc
+{
+
+void
+StatGroup::add(const std::string &stat_name, const uint64_t *counter)
+{
+    entries.push_back({stat_name, counter, nullptr});
+}
+
+void
+StatGroup::add(const std::string &stat_name, const double *counter)
+{
+    entries.push_back({stat_name, nullptr, counter});
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &e : entries) {
+        os << name << '.' << e.name << ' ';
+        if (e.u64)
+            os << *e.u64;
+        else
+            os << *e.f64;
+        os << '\n';
+    }
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    rows.insert(rows.begin(), std::move(cells));
+    hasHeader = true;
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths;
+    for (const auto &r : rows) {
+        if (widths.size() < r.size())
+            widths.resize(r.size(), 0);
+        for (size_t i = 0; i < r.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+    }
+
+    for (size_t ri = 0; ri < rows.size(); ++ri) {
+        const auto &r = rows[ri];
+        for (size_t i = 0; i < r.size(); ++i) {
+            // Left-align the first column, right-align the rest.
+            if (i == 0) {
+                os << r[i] << std::string(widths[i] - r[i].size(), ' ');
+            } else {
+                os << "  " << std::string(widths[i] - r[i].size(), ' ')
+                   << r[i];
+            }
+        }
+        os << '\n';
+        if (ri == 0 && hasHeader) {
+            size_t total = 0;
+            for (size_t i = 0; i < widths.size(); ++i)
+                total += widths[i] + (i ? 2 : 0);
+            os << std::string(total, '-') << '\n';
+        }
+    }
+}
+
+std::string
+fmtDouble(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+fmtPct(double frac, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", prec, frac * 100.0);
+    return buf;
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double v : values)
+        denom += 1.0 / v;
+    return static_cast<double>(values.size()) / denom;
+}
+
+} // namespace tproc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Lightweight statistics helpers: named scalar counters grouped per
+ * component, plus table-formatting utilities used by the bench drivers.
+ */
+
+#ifndef TPROC_COMMON_STATS_HH
+#define TPROC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tproc
+{
+
+/** A named scalar statistic. */
+struct Stat
+{
+    std::string name;
+    double value = 0.0;
+};
+
+/**
+ * A group of related statistics with pretty-printing. Components embed a
+ * StatGroup and register references to their counters for reporting.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name_) : name(std::move(name_)) {}
+
+    /** Register a counter for reporting; returns its index. */
+    void add(const std::string &stat_name, const uint64_t *counter);
+    void add(const std::string &stat_name, const double *counter);
+
+    /** Write "group.stat value" lines to os. */
+    void dump(std::ostream &os) const;
+
+    const std::string &groupName() const { return name; }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        const uint64_t *u64 = nullptr;
+        const double *f64 = nullptr;
+    };
+
+    std::string name;
+    std::vector<Entry> entries;
+};
+
+/**
+ * Fixed-width text table builder for the bench drivers; reproduces the
+ * paper's tables as aligned ASCII.
+ */
+class TextTable
+{
+  public:
+    /** Set column headers (first call). */
+    void header(std::vector<std::string> cells);
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+    /** Render with column alignment. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::vector<std::string>> rows;
+    bool hasHeader = false;
+};
+
+/** Format a double with the given precision (helper for tables). */
+std::string fmtDouble(double v, int prec);
+
+/** Format a percentage, e.g. 12.3%. */
+std::string fmtPct(double frac, int prec = 1);
+
+/** Harmonic mean of a vector of positive values. */
+double harmonicMean(const std::vector<double> &values);
+
+} // namespace tproc
+
+#endif // TPROC_COMMON_STATS_HH

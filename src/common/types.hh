@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every tproc module.
+ */
+
+#ifndef TPROC_COMMON_TYPES_HH
+#define TPROC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace tproc
+{
+
+/** Program counter / memory address. PCs index instructions (word
+ *  addressed); data addresses live in a separate data space. */
+using Addr = uint64_t;
+
+/** Simulation time in cycles. */
+using Cycle = uint64_t;
+
+/** Architectural register index (0..numArchRegs-1). */
+using ArchReg = uint8_t;
+
+/** Physical register tag. */
+using PhysReg = uint32_t;
+
+/** Unique id of an in-flight trace instance (monotonic). */
+using TraceUid = uint64_t;
+
+constexpr PhysReg invalidPhysReg = std::numeric_limits<PhysReg>::max();
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+constexpr TraceUid invalidTraceUid = std::numeric_limits<TraceUid>::max();
+
+/** Number of architectural integer registers. */
+constexpr int numArchRegs = 64;
+
+/** Conventional register assignments used by the program builder. */
+constexpr ArchReg regZero = 0;  //!< hardwired zero
+constexpr ArchReg regRa = 1;    //!< return address
+constexpr ArchReg regSp = 2;    //!< stack pointer
+
+} // namespace tproc
+
+#endif // TPROC_COMMON_TYPES_HH

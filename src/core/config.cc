@@ -1,0 +1,53 @@
+#include "core/config.hh"
+
+#include "common/logging.hh"
+
+namespace tproc
+{
+
+const char *
+cgciHeuristicName(CgciHeuristic h)
+{
+    switch (h) {
+      case CgciHeuristic::NONE: return "none";
+      case CgciHeuristic::RET: return "RET";
+      case CgciHeuristic::MLB_RET: return "MLB-RET";
+    }
+    return "?";
+}
+
+ProcessorConfig
+ProcessorConfig::forModel(std::string_view model)
+{
+    ProcessorConfig cfg;
+    if (model == "base") {
+        // defaults
+    } else if (model == "base(ntb)") {
+        cfg.selection.ntb = true;
+    } else if (model == "base(fg)") {
+        cfg.selection.fg = true;
+    } else if (model == "base(fg,ntb)") {
+        cfg.selection.fg = true;
+        cfg.selection.ntb = true;
+    } else if (model == "RET") {
+        cfg.cgci = CgciHeuristic::RET;
+    } else if (model == "MLB-RET") {
+        cfg.selection.ntb = true;       // ntb exposes loop exits for MLB
+        cfg.cgci = CgciHeuristic::MLB_RET;
+    } else if (model == "FG") {
+        cfg.selection.fg = true;
+        cfg.fgci = true;
+    } else if (model == "FG+MLB-RET") {
+        cfg.selection.fg = true;
+        cfg.selection.ntb = true;
+        cfg.fgci = true;
+        cfg.cgci = CgciHeuristic::MLB_RET;
+    } else {
+        fatal("unknown processor model '%.*s'",
+              static_cast<int>(model.size()), model.data());
+    }
+    cfg.bit.maxTraceLen = cfg.selection.maxTraceLen;
+    return cfg;
+}
+
+} // namespace tproc

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Trace processor configuration (Table 1 defaults) and the control
+ * independence models evaluated in Section 6.
+ */
+
+#ifndef TPROC_CORE_CONFIG_HH
+#define TPROC_CORE_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "cache/dcache.hh"
+#include "cache/icache.hh"
+#include "tcache/trace_cache.hh"
+#include "tpred/trace_predictor.hh"
+#include "trace/bit.hh"
+#include "trace/selection.hh"
+
+namespace tproc
+{
+
+/** CGCI recovery heuristic (Section 4.2). */
+enum class CgciHeuristic : uint8_t
+{
+    NONE,       //!< coarse-grain control independence disabled
+    RET,        //!< nearest trace ending in a return
+    MLB_RET     //!< mispredicted-loop-branch first, then RET
+};
+
+const char *cgciHeuristicName(CgciHeuristic h);
+
+/** Complete processor configuration. Defaults reproduce Table 1. */
+struct ProcessorConfig
+{
+    /** Trace selection (default max length 32; ntb / fg per model). */
+    SelectionParams selection;
+
+    /** @name Control independence model. */
+    /// @{
+    bool fgci = false;                          //!< exploit FGCI
+    CgciHeuristic cgci = CgciHeuristic::NONE;   //!< exploit CGCI
+    /// @}
+
+    /** @name Machine structure (Table 1). */
+    /// @{
+    int numPEs = 16;
+    int issuePerPe = 4;
+    int globalBuses = 8;        //!< global result buses
+    int maxBusesPerPe = 4;
+    int cacheBuses = 8;
+    int maxCacheBusesPerPe = 4;
+    int frontendLatency = 2;    //!< fetch + dispatch
+    int loadReissuePenalty = 1; //!< snoop latency on selective reissue
+    /// @}
+
+    /** @name Memory / predictor structures. */
+    /// @{
+    ICache::Params icache;
+    DCache::Params dcache;
+    TraceCache::Params tcache;
+    TracePredictor::Params tpred;
+    Bit::Params bit;
+    size_t btbEntries = 16 * 1024;
+    size_t physRegs = 64 * 1024;
+    /// @}
+
+    /** Give up on CGCI re-convergence (degenerating to a full squash)
+     *  after this many cycles; the paper notes re-convergence is not
+     *  guaranteed, so recovery hardware must bound the wait. */
+    uint64_t cgciReconvergeTimeout = 1024;
+
+    /** @name Simulation controls. */
+    /// @{
+    uint64_t watchdogCycles = 200000;   //!< panic if retirement stalls
+    bool verifyRetirement = true;       //!< golden-model check at retire
+    /// @}
+
+    /**
+     * Named experiment models:
+     *   "base", "base(ntb)", "base(fg)", "base(fg,ntb)" (Section 6.1),
+     *   "RET", "MLB-RET", "FG", "FG+MLB-RET" (Section 6.2).
+     */
+    static ProcessorConfig forModel(std::string_view model);
+};
+
+} // namespace tproc
+
+#endif // TPROC_CORE_CONFIG_HH

@@ -1,0 +1,1171 @@
+#include "core/processor.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "isa/disasm.hh"
+
+namespace tproc
+{
+
+namespace
+{
+
+bool
+traceRecovery()
+{
+    static bool on = std::getenv("TPROC_TRACE_RECOVERY") != nullptr;
+    return on;
+}
+
+#define RLOG(...)                                                            \
+    do {                                                                     \
+        if (traceRecovery()) {                                               \
+            std::fprintf(stderr, "[%llu] ",                                  \
+                         static_cast<unsigned long long>(curCycle));         \
+            std::fprintf(stderr, __VA_ARGS__);                               \
+            std::fprintf(stderr, "\n");                                      \
+        }                                                                    \
+    } while (0)
+
+} // anonymous namespace
+
+Processor::Processor(const Program &prog_, const ProcessorConfig &cfg_)
+    : prog(prog_), cfg(cfg_), frontend(prog_, cfg),
+      dcache(cfg.dcache),
+      arb([this](TraceUid uid) { return orderOf(uid); }),
+      prf(cfg.physRegs), map(PhysRegFile::initialMap()),
+      retireMap(PhysRegFile::initialMap()),
+      dispatchExpectedPc(prog_.entry)
+{
+    mem.load(prog.dataInit);
+    if (cfg.verifyRetirement)
+        golden = std::make_unique<Emulator>(prog);
+    for (int i = cfg.numPEs - 1; i >= 0; --i)
+        freePes.push_back(i);
+}
+
+Processor::~Processor() = default;
+
+// ---------------------------------------------------------------------
+// Window helpers.
+// ---------------------------------------------------------------------
+
+InFlightTrace *
+Processor::find(TraceUid uid)
+{
+    auto it = traces.find(uid);
+    return it == traces.end() ? nullptr : it->second.get();
+}
+
+const InFlightTrace *
+Processor::find(TraceUid uid) const
+{
+    auto it = traces.find(uid);
+    return it == traces.end() ? nullptr : it->second.get();
+}
+
+int
+Processor::windowIndex(TraceUid uid) const
+{
+    for (size_t i = 0; i < window.size(); ++i) {
+        if (window[i] == uid)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int64_t
+Processor::orderOf(TraceUid uid) const
+{
+    const InFlightTrace *t = find(uid);
+    return t ? t->logicalPos : -1;
+}
+
+void
+Processor::refreshLogicalPositions()
+{
+    for (size_t i = 0; i < window.size(); ++i)
+        find(window[i])->logicalPos = static_cast<int64_t>(i);
+}
+
+// ---------------------------------------------------------------------
+// Cycle loop.
+// ---------------------------------------------------------------------
+
+void
+Processor::step()
+{
+    phaseCompletions();
+    phaseCacheBuses();
+    phaseResultBuses();
+    phaseViolations();
+    phaseEvents();
+    phaseRetire();
+    phaseDispatch();
+    phaseIssue();
+    frontend.cycle(curCycle);
+
+    // Fetch stalled on an unresolved indirect: resolve it from the last
+    // dispatched trace once its final slot executes.
+    if (frontend.waitingIndirect()) {
+        InFlightTrace *t = find(lastDispatchedUid);
+        if (t && !t->slots.empty()) {
+            const DynSlot &last = t->slots.back();
+            if (isIndirect(last.inst.op) && last.completed)
+                frontend.indirectResolved(last.brTarget);
+        }
+    }
+
+    if (insertMode.active)
+        ++stats.insertActiveCycles;
+    if (curCycle < dispatchBusyUntil)
+        ++stats.dispatchBlockedCycles;
+    if (!frontend.hasReady(curCycle))
+        ++stats.fetchStallCycles;
+
+    ++curCycle;
+    ++stats.cycles;
+
+    panic_if(curCycle - lastRetireCycle > cfg.watchdogCycles,
+             "watchdog: no retirement for %llu cycles (window=%zu, "
+             "events=%zu, insert=%d, queue=%zu, halt=%d, waitInd=%d, "
+             "fetchPc=%lld, expected=%lld, dispBusy=%lld, now=%llu)",
+             static_cast<unsigned long long>(cfg.watchdogCycles),
+             window.size(), events.size(), insertMode.active ? 1 : 0,
+             frontend.queueSize(), frontend.haltSeenByFetch() ? 1 : 0,
+             frontend.waitingIndirect() ? 1 : 0,
+             static_cast<long long>(frontend.fetchPc()),
+             static_cast<long long>(dispatchExpectedPc),
+             static_cast<long long>(dispatchBusyUntil),
+             static_cast<unsigned long long>(curCycle));
+}
+
+const ProcessorStats &
+Processor::run(uint64_t max_insts, uint64_t max_cycles)
+{
+    while (!simDone && stats.retiredInsts < max_insts &&
+           stats.cycles < max_cycles) {
+        step();
+    }
+
+    // Fold in component statistics.
+    stats.tcLookups = frontend.traceCache().lookups;
+    stats.tcMisses = frontend.traceCache().misses;
+    stats.icAccesses = frontend.icache().tags().accesses;
+    stats.icMisses = frontend.icache().tags().misses;
+    stats.dcAccesses = dcache.tags().accesses;
+    stats.dcMisses = dcache.tags().misses;
+    stats.bitLookups = frontend.bitTable().lookups;
+    stats.bitMisses = frontend.bitTable().misses;
+    stats.tracePredictions = frontend.predictions;
+    stats.fallbackFetches = frontend.fallbackFetches;
+    stats.constructions = frontend.constructions;
+    stats.loadViolations = arb.violations;
+    return stats;
+}
+
+// ---------------------------------------------------------------------
+// Execution: operand readiness, issue, completion.
+// ---------------------------------------------------------------------
+
+bool
+Processor::operandReady(const InFlightTrace &t, const DynSlot &d) const
+{
+    auto one_ready = [&](int dep, PhysReg src, bool reads) {
+        if (!reads)
+            return true;
+        if (dep >= 0) {
+            const DynSlot &p = t.slots[dep];
+            return p.completed && curCycle >= p.readyAt;
+        }
+        return prf.ready(src, curCycle);
+    };
+    return one_ready(d.dep1, d.src1, readsRs1(d.inst)) &&
+        one_ready(d.dep2, d.src2, readsRs2(d.inst));
+}
+
+int64_t
+Processor::operandValue(const InFlightTrace &t, int dep, PhysReg src) const
+{
+    if (dep >= 0)
+        return t.slots[dep].value;
+    return prf.value(src);
+}
+
+void
+Processor::issueSlot(InFlightTrace &t, int slot)
+{
+    DynSlot &d = t.slots[slot];
+    d.issued = true;
+    ++d.issueCount;
+    d.srcVal1 = readsRs1(d.inst) ? operandValue(t, d.dep1, d.src1) : 0;
+    d.srcVal2 = readsRs2(d.inst) ? operandValue(t, d.dep2, d.src2) : 0;
+
+    const Instruction &inst = d.inst;
+    switch (inst.op) {
+      case Opcode::LD:
+      case Opcode::ST:
+        // Address generation (1 cycle); the memory access itself goes
+        // through a cache bus afterwards.
+        d.execDoneAt = curCycle + 1;
+        break;
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE:
+        d.resolvedTaken = evalBranch(inst.op, d.srcVal1, d.srcVal2);
+        d.execDoneAt = curCycle + 1;
+        break;
+      case Opcode::JMP:
+        d.execDoneAt = curCycle + 1;
+        break;
+      case Opcode::CALL:
+      case Opcode::CALLR:
+        d.value = static_cast<int64_t>(d.pc + 1);
+        d.brTarget = inst.op == Opcode::CALL ?
+            static_cast<Addr>(inst.imm) : static_cast<Addr>(d.srcVal1);
+        d.execDoneAt = curCycle + 1;
+        break;
+      case Opcode::JR:
+      case Opcode::RET:
+        d.brTarget = static_cast<Addr>(d.srcVal1);
+        d.execDoneAt = curCycle + 1;
+        break;
+      case Opcode::NOP:
+      case Opcode::HALT:
+        d.execDoneAt = curCycle + 1;
+        break;
+      default:
+        // ALU operation.
+        d.value = evalAlu(inst.op, d.srcVal1, d.srcVal2, inst.imm);
+        d.execDoneAt = curCycle + execLatency(inst.op);
+        break;
+    }
+}
+
+void
+Processor::phaseIssue()
+{
+    for (TraceUid uid : window) {
+        InFlightTrace &t = *find(uid);
+        int issued_this_cycle = 0;
+        for (size_t i = 0;
+             i < t.slots.size() && issued_this_cycle < cfg.issuePerPe;
+             ++i) {
+            DynSlot &d = t.slots[i];
+            if (d.issued || d.completed || curCycle < d.earliestIssue)
+                continue;
+            if (!operandReady(t, d))
+                continue;
+            issueSlot(t, static_cast<int>(i));
+            ++issued_this_cycle;
+        }
+    }
+}
+
+void
+Processor::phaseCompletions()
+{
+    // Collect first: completion side effects (events, bus requests) must
+    // not disturb the scan.
+    struct Done { TraceUid uid; int slot; };
+    std::vector<Done> done;
+    for (TraceUid uid : window) {
+        InFlightTrace &t = *find(uid);
+        for (size_t i = 0; i < t.slots.size(); ++i) {
+            DynSlot &d = t.slots[i];
+            // waitingBus gates memory ops between address generation and
+            // their cache-bus grant (the grant schedules the real
+            // completion time).
+            if (d.issued && !d.completed && !d.waitingBus &&
+                d.execDoneAt <= curCycle) {
+                done.push_back({uid, static_cast<int>(i)});
+            }
+        }
+    }
+    for (const auto &dn : done) {
+        InFlightTrace *t = find(dn.uid);
+        if (!t)
+            continue;   // squashed by an earlier completion's side effects
+        DynSlot &d = t->slots[dn.slot];
+        if (!d.issued || d.completed || d.waitingBus ||
+            d.execDoneAt > curCycle) {
+            continue;
+        }
+        completeSlot(*t, dn.slot);
+    }
+}
+
+void
+Processor::completeSlot(InFlightTrace &t, int slot)
+{
+    DynSlot &d = t.slots[slot];
+
+    // Memory operations: address generation finished; go request a cache
+    // bus (they "complete" later, once the access returns).
+    if ((d.isLoad() || d.isStore()) && !d.agenDone) {
+        d.agenDone = true;
+        d.effAddr = static_cast<Addr>(d.srcVal1 + d.inst.imm);
+        d.waitingBus = true;
+        cacheQueue.push_back({t.uid, slot});
+        return;
+    }
+
+    d.completed = true;
+    d.readyAt = curCycle;
+
+    // Value-change filter: a recompletion that reproduces the previous
+    // value cannot change any downstream result, so dependents keep
+    // their results (this is what bounds reissue cascades).
+    bool value_changed = !d.everCompleted || d.value != d.lastValue;
+    d.everCompleted = true;
+    d.lastValue = d.value;
+
+    // Selective reissue of dependence chains (Section 2.2.3): any local
+    // consumer that already issued consumed a stale value.
+    if (value_changed) {
+        for (size_t i = 0; i < t.slots.size(); ++i) {
+            DynSlot &c = t.slots[i];
+            if ((c.dep1 == slot || c.dep2 == slot) &&
+                (c.issued || c.completed) && static_cast<int>(i) != slot) {
+                ++stats.reissueLocal;
+                reissueSlot(t, static_cast<int>(i), curCycle + 1);
+            }
+        }
+    }
+
+    // Publish live-out values on a global result bus. The register's
+    // current content decides whether a broadcast is needed (a previous
+    // broadcast may have been dropped by repair-time validation, and
+    // repair can hand a completed slot a fresh register).
+    if (d.dest != invalidPhysReg && writesReg(d.inst) &&
+        (!prf.hasValue(d.dest) || prf.value(d.dest) != d.value)) {
+        busQueue.push_back({t.uid, slot, d.dest, d.value});
+    }
+
+    // Conditional branch resolution: flag a misprediction event.
+    if (d.isCondBr && d.resolvedTaken != d.predTaken)
+        events.push_back({t.uid, slot, false});
+
+    // Indirect resolution: validate the successor trace's start pc.
+    if (isIndirect(d.inst.op)) {
+        if (t.uid == lastDispatchedUid &&
+            static_cast<size_t>(slot) + 1 == t.slots.size()) {
+            dispatchExpectedPc = d.brTarget;
+            // Unstall fetch immediately: the trace may retire this very
+            // cycle, after which the end-of-cycle poll cannot find it.
+            frontend.indirectResolved(d.brTarget);
+        }
+        int idx = windowIndex(t.uid);
+        if (idx >= 0 && idx + 1 < static_cast<int>(window.size())) {
+            const InFlightTrace &succ = *find(window[idx + 1]);
+            if (succ.trace->id.startPc != d.brTarget)
+                events.push_back({t.uid, slot, true});
+        }
+    }
+}
+
+void
+Processor::reissueSlot(InFlightTrace &t, int slot, Cycle earliest)
+{
+    DynSlot &d = t.slots[slot];
+    if (!d.issued && !d.completed) {
+        d.earliestIssue = std::max(d.earliestIssue, earliest);
+        return;
+    }
+    if (d.isLoad())
+        arb.loadRemove(t.uid, slot);
+    if (d.isStore() && d.performed)
+        arb.storeUndo(t.uid, slot);
+    d.resetDynamic();
+    d.earliestIssue = std::max(d.earliestIssue, earliest);
+    ++stats.reissuedSlots;
+
+    if (traceRecovery() && d.issueCount > 200 && d.issueCount % 200 == 0) {
+        fprintf(stderr,
+                "HOT reissue uid=%llu pos=%lld slot=%d %s ic=%u "
+                "dep=(%d,%d) src=(%u,%u) lastVal=%lld\n",
+                static_cast<unsigned long long>(t.uid),
+                static_cast<long long>(t.logicalPos), slot,
+                disassemble(d.pc, d.inst).c_str(), d.issueCount, d.dep1,
+                d.dep2, d.src1, d.src2,
+                static_cast<long long>(d.lastValue));
+    }
+}
+
+void
+Processor::reissueConsumersOf(PhysReg reg)
+{
+    for (TraceUid uid : window) {
+        InFlightTrace &t = *find(uid);
+        for (size_t i = 0; i < t.slots.size(); ++i) {
+            DynSlot &d = t.slots[i];
+            bool consumes = (d.dep1 < 0 && readsRs1(d.inst) &&
+                             d.src1 == reg) ||
+                            (d.dep2 < 0 && readsRs2(d.inst) &&
+                             d.src2 == reg);
+            if (consumes && (d.issued || d.completed)) {
+                ++stats.reissueGlobal;
+                reissueSlot(t, static_cast<int>(i), curCycle + 1);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Buses.
+// ---------------------------------------------------------------------
+
+void
+Processor::phaseCacheBuses()
+{
+    int total = 0;
+    std::vector<int> per_pe(cfg.numPEs, 0);
+    std::deque<CacheRequest> kept;
+
+    while (!cacheQueue.empty() && total < cfg.cacheBuses) {
+        CacheRequest req = cacheQueue.front();
+        cacheQueue.pop_front();
+
+        InFlightTrace *t = find(req.uid);
+        if (!t || req.slot >= static_cast<int>(t->slots.size())) {
+            continue;   // squashed or replaced
+        }
+        DynSlot &d = t->slots[req.slot];
+        if (!d.waitingBus || !d.issued || d.completed)
+            continue;   // stale request (slot was reissued/repaired)
+
+        if (per_pe[t->peId] >= cfg.maxCacheBusesPerPe) {
+            kept.push_back(req);
+            continue;
+        }
+        ++per_pe[t->peId];
+        ++total;
+        d.waitingBus = false;
+
+        if (d.isLoad()) {
+            Arb::LoadResult r = arb.loadAccess(t->uid, req.slot, d.effAddr,
+                                               mem);
+            d.value = r.value;
+            int lat = r.fromStore ? 2 : dcache.loadLatency(d.effAddr);
+            if (d.issueCount > 1)
+                lat += cfg.loadReissuePenalty;
+            d.execDoneAt = curCycle + lat;
+        } else {
+            arb.storePerform(t->uid, req.slot, d.effAddr, d.srcVal2);
+            d.performed = true;
+            d.value = d.srcVal2;
+            d.execDoneAt = curCycle + 1;
+        }
+    }
+
+    // Unprocessed / deferred requests retry next cycle, in order.
+    for (auto it = kept.rbegin(); it != kept.rend(); ++it)
+        cacheQueue.push_front(*it);
+}
+
+void
+Processor::phaseResultBuses()
+{
+    int total = 0;
+    std::vector<int> per_pe(cfg.numPEs, 0);
+    std::deque<BusRequest> kept;
+
+    while (!busQueue.empty() && total < cfg.globalBuses) {
+        BusRequest req = busQueue.front();
+        busQueue.pop_front();
+
+        InFlightTrace *t = find(req.uid);
+        if (!t || req.slot >= static_cast<int>(t->slots.size()))
+            continue;
+        DynSlot &d = t->slots[req.slot];
+        // Drop stale broadcasts: the slot must still be completed with
+        // the same destination and value (repair / reissue enqueue fresh
+        // requests of their own).
+        if (!d.completed || d.dest != req.dest || d.value != req.value)
+            continue;
+
+        if (per_pe[t->peId] >= cfg.maxBusesPerPe) {
+            kept.push_back(req);
+            continue;
+        }
+        ++per_pe[t->peId];
+        ++total;
+
+        bool rebroadcast = prf.hasValue(req.dest);
+        if (rebroadcast && prf.value(req.dest) == req.value)
+            continue;   // unchanged value: nothing downstream can differ
+        // Extra one-cycle bypass latency between PEs (Table 1).
+        prf.write(req.dest, req.value, curCycle + 1);
+        if (rebroadcast)
+            reissueConsumersOf(req.dest);
+    }
+
+    for (auto it = kept.rbegin(); it != kept.rend(); ++it)
+        busQueue.push_front(*it);
+}
+
+void
+Processor::phaseViolations()
+{
+    for (const SeqTag &tag : arb.takeViolations()) {
+        InFlightTrace *t = find(tag.uid);
+        if (!t || tag.slot >= static_cast<int>(t->slots.size()))
+            continue;
+        DynSlot &d = t->slots[tag.slot];
+        if (!d.isLoad())
+            continue;
+        ++stats.loadViolations;
+        ++stats.reissueViol;
+        reissueSlot(*t, tag.slot, curCycle + cfg.loadReissuePenalty);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Misprediction events and recovery.
+// ---------------------------------------------------------------------
+
+void
+Processor::phaseEvents()
+{
+    // During a CGCI insertion, recovery remains possible for traces
+    // logically before the assumed-CI trace (the repaired trace and the
+    // inserted control dependent traces carry valid rename snapshots);
+    // events in the preserved traces wait for the re-dispatch pass at
+    // re-convergence. A bounded wait breaks the rare cycle where the
+    // insertion's progress itself depends on a deferred repair.
+    int ci_idx = -1;
+    if (insertMode.active) {
+        if (curCycle > insertMode.deadline) {
+            exitInsertModeAbandon();
+        } else {
+            ci_idx = windowIndex(insertMode.targetUid);
+            panic_if(ci_idx < 0, "insert mode without CI trace");
+        }
+    }
+
+    // Validate queued events, dropping stale ones, and pick the oldest
+    // processable one.
+    int best = -1;
+    int64_t best_key = 0;
+    std::vector<MispEvent> still;
+    still.reserve(events.size());
+    for (const MispEvent &ev : events) {
+        InFlightTrace *t = find(ev.uid);
+        if (!t || ev.slot >= static_cast<int>(t->slots.size()))
+            continue;
+        const DynSlot &d = t->slots[ev.slot];
+        int idx = windowIndex(ev.uid);
+        bool valid;
+        if (ev.indirect) {
+            valid = isIndirect(d.inst.op) && d.completed && idx >= 0 &&
+                idx + 1 < static_cast<int>(window.size()) &&
+                find(window[idx + 1])->trace->id.startPc != d.brTarget;
+        } else {
+            valid = d.isCondBr && d.completed &&
+                d.resolvedTaken != d.predTaken;
+        }
+        if (!valid)
+            continue;
+        bool deferred = ci_idx >= 0 && idx >= ci_idx;
+        int64_t key = idx * 64 + ev.slot;
+        if (!deferred && (best < 0 || key < best_key)) {
+            best = static_cast<int>(still.size());
+            best_key = key;
+        }
+        still.push_back(ev);
+    }
+    events = std::move(still);
+    if (best < 0)
+        return;
+
+    MispEvent ev = events[best];
+    events.erase(events.begin() + best);
+
+    InFlightTrace &t = *find(ev.uid);
+    ++stats.mispEvents;
+    if (ev.indirect) {
+        ++stats.indirectMispEvents;
+        recoverIndirect(t, ev.slot);
+    } else {
+        ++stats.condMispEvents;
+        recoverCond(t, ev.slot);
+    }
+}
+
+RenameMap
+Processor::mapAfter(const InFlightTrace &t) const
+{
+    RenameMap m = t.mapBefore;
+    for (const auto &lo : t.liveOuts)
+        m[lo.arch] = lo.phys;
+    return m;
+}
+
+PathHistory
+Processor::historyUpTo(int idx) const
+{
+    panic_if(idx >= static_cast<int>(window.size()),
+             "historyUpTo: bad index %d", idx);
+    if (window.empty())
+        return PathHistory();
+    // idx == -1 legitimately yields "history before the oldest trace".
+    PathHistory h = find(window[0])->histBefore;
+    for (int i = 0; i <= idx; ++i)
+        h.push(find(window[i])->trace->id);
+    return h;
+}
+
+void
+Processor::redirectAfterTrace(InFlightTrace &t, Cycle resume_at)
+{
+    int idx = windowIndex(t.uid);
+    PathHistory h = historyUpTo(idx);
+    const Trace &tr = *t.trace;
+    RLOG("redirectAfter uid=%llu end=%s fallthrough=%lld",
+         static_cast<unsigned long long>(t.uid), traceEndName(tr.end),
+         static_cast<long long>(tr.fallthroughPc));
+
+    lastDispatchedUid = t.uid;
+    if (tr.end == TraceEnd::HALT) {
+        // Wrong-path halts are cleaned up by older recoveries; fetch
+        // simply stops until then.
+        frontend.redirect(h, invalidAddr, invalidAddr, resume_at);
+        dispatchExpectedPc = invalidAddr;
+        return;
+    }
+    if (tr.fallthroughPc != invalidAddr) {
+        frontend.redirect(h, tr.fallthroughPc, invalidAddr, resume_at);
+        dispatchExpectedPc = tr.fallthroughPc;
+        return;
+    }
+
+    // Trace ends in an indirect branch.
+    const DynSlot &last = t.slots.back();
+    if (last.completed) {
+        frontend.redirect(h, last.brTarget, invalidAddr, resume_at);
+        dispatchExpectedPc = last.brTarget;
+    } else {
+        frontend.redirect(h, invalidAddr, last.pc, resume_at);
+        dispatchExpectedPc = invalidAddr;
+    }
+}
+
+void
+Processor::redispatchFrom(int start_idx, Cycle first_cycle)
+{
+    Cycle cyc = first_cycle;
+    for (size_t i = static_cast<size_t>(start_idx); i < window.size();
+         ++i) {
+        InFlightTrace &t = *find(window[i]);
+        t.histBefore = historyUpTo(static_cast<int>(i) - 1);
+        auto changed = redispatchInFlightTrace(t, map);
+        for (int s : changed) {
+            ++stats.reissueRedisp;
+            reissueSlot(t, s, cyc);
+        }
+        ++stats.redispatchedTraces;
+        ++cyc;
+    }
+    dispatchBusyUntil = std::max(dispatchBusyUntil, cyc);
+}
+
+int
+Processor::findCgciTarget(int t_idx, const DynSlot &branch)
+{
+    if (cfg.cgci == CgciHeuristic::NONE)
+        return -1;
+
+    int n = static_cast<int>(window.size());
+
+    // MLB: a mispredicted backward branch is assumed to be a loop
+    // branch; the nearest trace starting at its not-taken target is the
+    // likely re-convergent point (Section 4.2).
+    if (cfg.cgci == CgciHeuristic::MLB_RET && branch.isCondBr &&
+        isBackwardBranch(branch.inst, branch.pc)) {
+        Addr fallthrough = branch.pc + 1;
+        for (int i = t_idx + 1; i < n; ++i) {
+            if (find(window[i])->trace->id.startPc == fallthrough)
+                return i;
+        }
+        // Fall through to RET below.
+    }
+
+    // RET: the nearest trace ending in a return; its successor is
+    // assumed control independent. The mispredicted trace itself only
+    // qualifies if the repaired trace still ends in the same return,
+    // which the caller checks (we use the pre-repair window here).
+    for (int i = t_idx; i < n; ++i) {
+        if (find(window[i])->trace->endsInReturn() &&
+            i + 1 < n) {
+            return i + 1;
+        }
+    }
+    return -1;
+}
+
+void
+Processor::recoverCond(InFlightTrace &t, int slot)
+{
+    DynSlot &branch = t.slots[slot];
+    bool corrected = branch.resolvedTaken;
+    bool covered = cfg.fgci && branch.inRegion;
+
+    // Only one unspliced CGCI gap can be outstanding: a new coarse
+    // recovery first abandons any insertion still in flight (otherwise
+    // the old gap would be orphaned inside the newly preserved region
+    // with nothing left to splice or validate it).
+    if (!covered && insertMode.active)
+        exitInsertModeAbandon();
+
+    int t_idx = windowIndex(t.uid);
+    RLOG("recoverCond uid=%llu idx=%d slot=%d pc=%llu corr=%d cov=%d",
+         static_cast<unsigned long long>(t.uid), t_idx, slot,
+         static_cast<unsigned long long>(branch.pc), corrected ? 1 : 0,
+         covered ? 1 : 0);
+
+    // Choose the CGCI re-convergent trace from the pre-repair window.
+    int ci_idx = covered ? -1 : findCgciTarget(t_idx, branch);
+
+    // 1. Repair the mispredicted trace in its outstanding trace buffer.
+    auto rep = frontend.buildRepair(curCycle, *t.trace, slot, corrected,
+                                    covered);
+
+    if (covered) {
+        // FGCI padding guarantees the repaired trace ends where the
+        // original did, so subsequent traces are unaffected.
+        panic_if(rep.trace->fallthroughPc != t.trace->fallthroughPc ||
+                 rep.trace->end != t.trace->end,
+                 "FGCI repair moved the trace boundary (pc %llu)",
+                 static_cast<unsigned long long>(branch.pc));
+    }
+
+    // ARB cleanup for the suffix being replaced.
+    for (size_t i = rep.prefixLen; i < t.slots.size(); ++i) {
+        DynSlot &d = t.slots[i];
+        if (d.isLoad())
+            arb.loadRemove(t.uid, static_cast<int>(i));
+        if (d.isStore() && d.performed)
+            arb.storeUndo(t.uid, static_cast<int>(i));
+    }
+
+    // 2. Back the global rename maps up to this trace and re-rename.
+    map = t.mapBefore;
+    repairInFlightTrace(t, rep.trace, rep.prefixLen, map, prf, curCycle,
+                        deferredFree);
+    for (size_t i = rep.prefixLen; i < t.slots.size(); ++i)
+        t.slots[i].earliestIssue = rep.readyAt;
+
+    if (covered) {
+        // 3a. Fine-grain recovery: the PE arrangement is unaffected;
+        // re-dispatch subsequent traces to repair register dependences.
+        ++stats.recoveriesFgci;
+        stats.tracesPreserved += window.size() - t_idx - 1;
+        redispatchFrom(t_idx + 1, rep.readyAt + 1);
+        if (insertMode.active) {
+            // The dispatch point is mid-window (between the inserted
+            // control dependent traces and the CI trace); the re-dispatch
+            // pass left the map at the window tail, so restore it to the
+            // insertion point.
+            map = find(insertMode.targetUid)->mapBefore;
+        }
+        releaseDeferredFrees();
+        return;
+    }
+
+    if (ci_idx > t_idx) {
+        // 3b. Coarse-grain recovery: squash the (assumed) incorrect
+        // control dependent traces and insert the correct ones.
+        ++stats.recoveriesCgci;
+        InFlightTrace *ci = find(window[ci_idx]);
+        stats.tracesPreserved += window.size() - ci_idx;
+        // Squash strictly between the mispredicted trace and the CI one.
+        for (int i = ci_idx - 1; i > t_idx; --i)
+            squashTrace(window[i]);
+        insertMode.active = true;
+        insertMode.targetUid = ci->uid;
+        insertMode.deadline = curCycle + cfg.cgciReconvergeTimeout;
+        redirectAfterTrace(t, rep.readyAt + 1);
+        return;
+    }
+
+    // 3c. No control independence: squash everything after the branch.
+    ++stats.recoveriesFull;
+    squashAllAfter(t_idx);
+    releaseDeferredFrees();
+    redirectAfterTrace(t, rep.readyAt + 1);
+}
+
+void
+Processor::recoverIndirect(InFlightTrace &t, int slot)
+{
+    // The trace itself is intact (indirects terminate traces); only the
+    // trace-level sequencing after it was wrong. Squash and refetch from
+    // the resolved target.
+    int t_idx = windowIndex(t.uid);
+    ++stats.recoveriesFull;
+    squashAllAfter(t_idx);
+    releaseDeferredFrees();
+    map = mapAfter(t);
+    redirectAfterTrace(t, curCycle + 1);
+    (void)slot;
+}
+
+void
+Processor::squashTrace(TraceUid uid)
+{
+    InFlightTrace *t = find(uid);
+    panic_if(!t, "squashTrace: unknown trace");
+
+    for (size_t i = 0; i < t->slots.size(); ++i) {
+        DynSlot &d = t->slots[i];
+        if (d.isLoad())
+            arb.loadRemove(uid, static_cast<int>(i));
+        if (d.isStore() && d.performed)
+            arb.storeUndo(uid, static_cast<int>(i));
+    }
+    for (const auto &lo : t->liveOuts)
+        deferredFree.push_back(lo.phys);
+
+    stats.squashedInsts += t->slots.size();
+    ++stats.squashedTraces;
+
+    freePes.push_back(t->peId);
+    int idx = windowIndex(uid);
+    window.erase(window.begin() + idx);
+    traces.erase(uid);
+    refreshLogicalPositions();
+
+    if (insertMode.active && insertMode.targetUid == uid)
+        insertMode.active = false;
+    if (lastDispatchedUid == uid)
+        lastDispatchedUid = invalidTraceUid;
+}
+
+void
+Processor::squashAllAfter(int idx)
+{
+    for (int i = static_cast<int>(window.size()) - 1; i > idx; --i)
+        squashTrace(window[i]);
+}
+
+void
+Processor::exitInsertModeAbandon()
+{
+    // Abandoning an insertion means the retained traces' data flow was
+    // never repaired; they cannot be kept.
+    ++stats.cgciAbandoned;
+    int ci_idx = windowIndex(insertMode.targetUid);
+    panic_if(ci_idx < 0, "abandon: CI trace missing");
+    for (int i = static_cast<int>(window.size()) - 1; i >= ci_idx; --i)
+        squashTrace(window[i]);
+    insertMode.active = false;
+    releaseDeferredFrees();
+}
+
+void
+Processor::releaseDeferredFrees()
+{
+    if (insertMode.active)
+        return;
+    for (PhysReg r : deferredFree)
+        prf.free(r);
+    deferredFree.clear();
+}
+
+// ---------------------------------------------------------------------
+// Dispatch (including CGCI insertion mode).
+// ---------------------------------------------------------------------
+
+void
+Processor::phaseDispatch()
+{
+    if (curCycle < dispatchBusyUntil)
+        return;
+    if (!frontend.hasReady(curCycle))
+        return;
+
+    // Peek at the head of the outstanding trace buffers; it is consumed
+    // only when actually dispatched or discarded as wrong-path.
+    const TraceId id = frontend.peek().trace->id;
+
+    if (insertMode.active) {
+        InFlightTrace *ci = find(insertMode.targetUid);
+        panic_if(!ci, "insert mode with missing CI trace");
+
+        if (id == ci->trace->id &&
+            (dispatchExpectedPc == invalidAddr ||
+             id.startPc == dispatchExpectedPc)) {
+            // Re-convergence detected: the next trace prediction matches
+            // the first control independent trace (Section 2.1) *and*
+            // the CI trace begins where the inserted control dependent
+            // path actually leads (a prediction alone could splice a
+            // wrong-path trace into the window).
+            frontend.pop();
+            ++stats.cgciReconverged;
+            insertMode.active = false;
+            int ci_idx = windowIndex(ci->uid);
+            redispatchFrom(ci_idx, curCycle + 1);
+            InFlightTrace &tail = *find(window.back());
+            redirectAfterTrace(tail, curCycle + 1);
+            releaseDeferredFrees();
+            return;
+        }
+
+        if (id.startPc == ci->trace->id.startPc) {
+            // Same start, different internal outcomes: the assumed CI
+            // trace is itself wrong. Squash it and everything after and
+            // continue as a normal (now tail) dispatch.
+            exitInsertModeAbandon();
+        }
+    }
+
+    // Wrong-path fetch check: the dispatched trace must begin where the
+    // previous one leads. An unresolved indirect (dispatchExpectedPc ==
+    // invalidAddr) dispatches speculatively on the trace predictor's
+    // say-so; the indirect's resolution validates the successor and
+    // triggers recovery on a mismatch.
+    if (dispatchExpectedPc != invalidAddr &&
+        id.startPc != dispatchExpectedPc) {
+        frontend.pop();     // discard the wrong-path trace
+        if (window.empty()) {
+            PathHistory h;
+            frontend.redirect(h, dispatchExpectedPc, invalidAddr,
+                              curCycle + 1);
+        } else if (insertMode.active) {
+            // Fetch is between the repaired trace and the CI trace; the
+            // expected pc tracks the last inserted trace.
+            int ci_idx = windowIndex(insertMode.targetUid);
+            if (ci_idx == 0) {
+                // Everything before the CI trace has retired; resume
+                // from the tracked continuation directly.
+                frontend.redirect(historyUpTo(-1), dispatchExpectedPc,
+                                  invalidAddr, curCycle + 1);
+            } else {
+                redirectAfterTrace(*find(window[ci_idx - 1]),
+                                   curCycle + 1);
+            }
+        } else {
+            redirectAfterTrace(*find(window.back()), curCycle + 1);
+        }
+        return;
+    }
+
+    if (freePes.empty()) {
+        if (!insertMode.active)
+            return;     // structural stall: wait for retirement
+        // Reclaim a PE from the most speculative preserved trace; if
+        // only the CI trace itself is left, the insertion degenerates
+        // to a full squash.
+        if (window.back() == insertMode.targetUid) {
+            exitInsertModeAbandon();
+        } else {
+            squashTrace(window.back());
+        }
+        if (freePes.empty())
+            return;
+    }
+
+    PendingTrace pt = frontend.pop();
+
+    // Rename and allocate a PE.
+    int pe = freePes.back();
+    freePes.pop_back();
+
+    auto t = makeInFlightTrace(nextUid++, pt.trace, map, prf);
+    t->peId = pe;
+    t->histBefore = pt.histBefore;
+    t->fromPredictor = pt.fromPredictor;
+    t->dispatchedAt = curCycle;
+    for (auto &d : t->slots)
+        d.earliestIssue = curCycle + 1;
+
+    lastDispatchedUid = t->uid;
+
+    // Continuation expectation for the next dispatch.
+    const Trace &tr = *t->trace;
+    if (tr.end == TraceEnd::HALT || tr.fallthroughPc == invalidAddr)
+        dispatchExpectedPc = invalidAddr;
+    else
+        dispatchExpectedPc = tr.fallthroughPc;
+
+    if (insertMode.active) {
+        int ci_idx = windowIndex(insertMode.targetUid);
+        window.insert(window.begin() + ci_idx, t->uid);
+    } else {
+        window.push_back(t->uid);
+    }
+    traces[t->uid] = std::move(t);
+    refreshLogicalPositions();
+    ++stats.dispatchedTraces;
+}
+
+// ---------------------------------------------------------------------
+// Retirement.
+// ---------------------------------------------------------------------
+
+void
+Processor::verifyRetiredSlot(const InFlightTrace &t, const DynSlot &d)
+{
+    StepResult g = golden->step();
+    auto mismatch = [&](const char *what) {
+        fprintf(stderr, "--- trace %llu (pe %d, pos %lld) ---\n",
+                static_cast<unsigned long long>(t.uid), t.peId,
+                static_cast<long long>(t.logicalPos));
+        for (size_t i = 0; i < t.slots.size(); ++i) {
+            const DynSlot &s = t.slots[i];
+            fprintf(stderr,
+                    "  [%2zu] %-28s dep=(%d,%d) src=(%u,%u) dest=%u "
+                    "val=%lld addr=%llu ic=%u%s%s\n",
+                    i, disassemble(s.pc, s.inst).c_str(), s.dep1, s.dep2,
+                    s.src1, s.src2, s.dest,
+                    static_cast<long long>(s.value),
+                    static_cast<unsigned long long>(s.effAddr),
+                    s.issueCount, s.completed ? " C" : "",
+                    s.performed ? " P" : "");
+        }
+        panic("retire verify: %s mismatch at %s (uid %llu, golden pc "
+              "%llu, golden val %lld, got %lld, golden addr %llu)",
+              what, disassemble(d.pc, d.inst).c_str(),
+              static_cast<unsigned long long>(t.uid),
+              static_cast<unsigned long long>(g.pc),
+              static_cast<long long>(g.destValue),
+              static_cast<long long>(d.value),
+              static_cast<unsigned long long>(g.memAddr));
+    };
+
+    if (g.pc != d.pc || !(g.inst == d.inst))
+        mismatch("instruction");
+    if (d.isCondBr && g.taken != d.resolvedTaken)
+        mismatch("branch outcome");
+    if (writesReg(d.inst) && g.destValue != d.value)
+        mismatch("dest value");
+    if ((d.isLoad() || d.isStore())) {
+        if (g.memAddr != d.effAddr)
+            mismatch("memory address");
+        if (g.memValue != d.value)
+            mismatch("memory value");
+    }
+    if (isIndirect(d.inst.op) && g.nextPc != d.brTarget)
+        mismatch("indirect target");
+}
+
+void
+Processor::phaseRetire()
+{
+    if (window.empty())
+        return;
+    InFlightTrace &t = *find(window.front());
+
+    // A CGCI insertion in flight: the assumed-CI trace's data flow has
+    // not been repaired yet (the trace re-dispatch sequence runs at
+    // re-convergence), so it and everything after it must wait.
+    if (insertMode.active && t.uid == insertMode.targetUid)
+        return;
+
+    for (const auto &d : t.slots) {
+        if (!d.completed)
+            return;
+        if (d.isCondBr && d.resolvedTaken != d.predTaken)
+            return;     // a misprediction event is pending
+    }
+    // Any live event against the head trace blocks retirement.
+    for (const auto &ev : events) {
+        if (ev.uid == t.uid)
+            return;
+    }
+    // An unconfirmed indirect at the trace end: the successor must have
+    // been validated (or no successor exists yet, in which case the
+    // dispatchExpectedPc mechanism guards the next dispatch).
+    if (t.trace->endsInIndirect() && window.size() > 1) {
+        if (find(window[1])->trace->id.startPc != t.slots.back().brTarget)
+            return;     // event is in flight
+    }
+
+    // Sequencing invariant: a retiring trace's statically known
+    // continuation must match its successor. The only sanctioned
+    // violation is the unspliced gap in front of a pending CGCI
+    // insertion target.
+    if (t.trace->fallthroughPc != invalidAddr && window.size() > 1 &&
+        !(insertMode.active && window[1] == insertMode.targetUid)) {
+        panic_if(find(window[1])->trace->id.startPc !=
+                 t.trace->fallthroughPc,
+                 "retire: successor does not continue the head trace "
+                 "(head uid=%llu end=%s ft=%lld; succ uid=%llu start=%lld;"
+                 " insert=%d target=%llu)",
+                 static_cast<unsigned long long>(t.uid),
+                 traceEndName(t.trace->end),
+                 static_cast<long long>(t.trace->fallthroughPc),
+                 static_cast<unsigned long long>(find(window[1])->uid),
+                 static_cast<long long>(
+                     find(window[1])->trace->id.startPc),
+                 insertMode.active ? 1 : 0,
+                 static_cast<unsigned long long>(insertMode.targetUid));
+    }
+
+    // Commit.
+    bool halted = false;
+    for (size_t i = 0; i < t.slots.size(); ++i) {
+        const DynSlot &d = t.slots[i];
+        if (golden)
+            verifyRetiredSlot(t, d);
+        if (d.isStore()) {
+            arb.commitStore(t.uid, static_cast<int>(i), mem);
+            dcache.storeCommit(d.effAddr);
+        }
+        if (d.isLoad())
+            arb.loadRemove(t.uid, static_cast<int>(i));
+        if (d.isCondBr) {
+            ++stats.retiredCondBranches;
+            frontend.branchPredictor().update(d.pc, d.resolvedTaken);
+        }
+        if (isIndirect(d.inst.op))
+            frontend.branchPredictor().updateTarget(d.pc, d.brTarget);
+        if (d.inst.op == Opcode::HALT)
+            halted = true;
+        ++stats.retiredInsts;
+    }
+
+    // Architectural register state: free superseded mappings.
+    for (const auto &lo : t.liveOuts) {
+        PhysReg old = retireMap[lo.arch];
+        if (old != lo.phys)
+            prf.free(old);
+        retireMap[lo.arch] = lo.phys;
+    }
+
+    frontend.trainRetire(t.trace->id);
+
+    ++stats.retiredTraces;
+    stats.retiredTraceLenSum += t.slots.size();
+    lastRetireCycle = curCycle;
+
+    freePes.push_back(t.peId);
+    TraceUid uid = t.uid;
+    if (lastDispatchedUid == uid)
+        lastDispatchedUid = invalidTraceUid;
+    window.erase(window.begin());
+    traces.erase(uid);
+    refreshLogicalPositions();
+
+    if (halted)
+        simDone = true;
+}
+
+void
+Processor::checkInvariants() const
+{
+    panic_if(window.size() + freePes.size() !=
+             static_cast<size_t>(cfg.numPEs),
+             "PE accounting broken: %zu in window + %zu free != %d",
+             window.size(), freePes.size(), cfg.numPEs);
+    for (size_t i = 0; i < window.size(); ++i) {
+        const InFlightTrace *t = find(window[i]);
+        panic_if(!t, "window entry without trace");
+        panic_if(t->logicalPos != static_cast<int64_t>(i),
+                 "stale logical position");
+    }
+}
+
+} // namespace tproc

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * The trace processor: cycle-level, execution-driven model of Figure 2
+ * with the control-independence mechanisms of Sections 2-4.
+ *
+ * Pipeline per cycle:
+ *   completions -> cache buses -> result buses -> load violations ->
+ *   misprediction events (recovery) -> retirement -> dispatch -> issue ->
+ *   frontend fetch.
+ *
+ * The window is the paper's linked-list control structure: an ordered
+ * sequence of PE-resident traces supporting insertion and removal in the
+ * middle (CGCI). Retirement is optionally verified instruction by
+ * instruction against the golden functional emulator, which checks the
+ * entire control-independence machinery end to end: every control and
+ * data repair must converge to the architectural execution.
+ */
+
+#ifndef TPROC_CORE_PROCESSOR_HH
+#define TPROC_CORE_PROCESSOR_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "arb/arb.hh"
+#include "cache/dcache.hh"
+#include "core/config.hh"
+#include "emulator/emulator.hh"
+#include "frontend/frontend.hh"
+#include "pe/processing_element.hh"
+#include "rename/rename.hh"
+
+namespace tproc
+{
+
+/** Aggregate statistics for one simulation. */
+struct ProcessorStats
+{
+    uint64_t cycles = 0;
+    uint64_t retiredInsts = 0;
+    uint64_t retiredTraces = 0;
+    uint64_t retiredTraceLenSum = 0;
+    uint64_t dispatchedTraces = 0;
+    uint64_t squashedTraces = 0;
+    uint64_t squashedInsts = 0;
+
+    uint64_t mispEvents = 0;        //!< trace mispredictions repaired
+    uint64_t condMispEvents = 0;
+    uint64_t indirectMispEvents = 0;
+    uint64_t recoveriesFgci = 0;
+    uint64_t recoveriesCgci = 0;
+    uint64_t recoveriesFull = 0;
+    uint64_t cgciReconverged = 0;
+    uint64_t cgciAbandoned = 0;
+    uint64_t tracesPreserved = 0;   //!< CI traces kept across recoveries
+    uint64_t redispatchedTraces = 0;
+    uint64_t reissuedSlots = 0;
+    uint64_t reissueLocal = 0;      //!< producer recompletion cascades
+    uint64_t reissueGlobal = 0;     //!< phys-reg re-broadcast cascades
+    uint64_t reissueViol = 0;       //!< memory ordering violations
+    uint64_t reissueRedisp = 0;     //!< re-dispatch source-name changes
+    uint64_t loadViolations = 0;
+
+    uint64_t insertActiveCycles = 0;   //!< cycles with an insertion open
+    uint64_t dispatchBlockedCycles = 0; //!< dispatch bus busy (repairs)
+    uint64_t fetchStallCycles = 0;      //!< frontend produced nothing
+
+    uint64_t retiredCondBranches = 0;
+    uint64_t retiredBranchMisps = 0;    //!< prediction != outcome at retire
+
+    /** @name Component statistics (copied at end of run). */
+    /// @{
+    uint64_t tcLookups = 0, tcMisses = 0;
+    uint64_t icAccesses = 0, icMisses = 0;
+    uint64_t dcAccesses = 0, dcMisses = 0;
+    uint64_t bitLookups = 0, bitMisses = 0;
+    uint64_t tracePredictions = 0, fallbackFetches = 0, constructions = 0;
+    /// @}
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(retiredInsts) / cycles : 0.0;
+    }
+
+    double
+    avgRetiredTraceLen() const
+    {
+        return retiredTraces ?
+            static_cast<double>(retiredTraceLenSum) / retiredTraces : 0.0;
+    }
+
+    /** Trace mispredictions per 1000 retired instructions. */
+    double
+    traceMispPerKilo() const
+    {
+        return retiredInsts ?
+            1000.0 * mispEvents / retiredInsts : 0.0;
+    }
+
+    /** Trace-cache misses per 1000 retired instructions. */
+    double
+    tcMissPerKilo() const
+    {
+        return retiredInsts ? 1000.0 * tcMisses / retiredInsts : 0.0;
+    }
+};
+
+class Processor
+{
+  public:
+    Processor(const Program &prog_, const ProcessorConfig &cfg_);
+    ~Processor();
+
+    /** Run until HALT retires (or limits hit). @return final stats. */
+    const ProcessorStats &run(uint64_t max_insts = UINT64_MAX,
+                              uint64_t max_cycles = UINT64_MAX);
+
+    /** Advance one cycle. */
+    void step();
+
+    bool done() const { return simDone; }
+    Cycle now() const { return curCycle; }
+    const ProcessorStats &statsSoFar() const { return stats; }
+
+    /** Window occupancy (diagnostics / tests). */
+    size_t windowSize() const { return window.size(); }
+
+    /** Check internal invariants (tests call this liberally). */
+    void checkInvariants() const;
+
+  private:
+    /** A detected control misprediction awaiting recovery. */
+    struct MispEvent
+    {
+        TraceUid uid;
+        int slot;
+        bool indirect;      //!< indirect-target (vs conditional direction)
+    };
+
+    struct BusRequest
+    {
+        TraceUid uid;
+        int slot;
+        PhysReg dest;
+        int64_t value;
+    };
+
+    struct CacheRequest
+    {
+        TraceUid uid;
+        int slot;
+    };
+
+    /** CGCI insertion mode (Section 2.1, coarse-grain recovery). */
+    struct InsertMode
+    {
+        bool active = false;
+        TraceUid targetUid = invalidTraceUid;   //!< assumed first CI trace
+        Cycle deadline = 0;     //!< abandon if re-convergence takes longer
+    };
+
+    /** @name Window helpers. */
+    /// @{
+    InFlightTrace *find(TraceUid uid);
+    const InFlightTrace *find(TraceUid uid) const;
+    int windowIndex(TraceUid uid) const;    //!< -1 if absent
+    int64_t orderOf(TraceUid uid) const;    //!< ARB ordering callback
+    void refreshLogicalPositions();
+    /// @}
+
+    /** @name Pipeline phases. */
+    /// @{
+    void phaseCompletions();
+    void phaseCacheBuses();
+    void phaseResultBuses();
+    void phaseViolations();
+    void phaseEvents();
+    void phaseRetire();
+    void phaseDispatch();
+    void phaseIssue();
+    /// @}
+
+    /** @name Execution. */
+    /// @{
+    bool operandReady(const InFlightTrace &t, const DynSlot &d) const;
+    int64_t operandValue(const InFlightTrace &t, int dep, PhysReg src) const;
+    void issueSlot(InFlightTrace &t, int slot);
+    void completeSlot(InFlightTrace &t, int slot);
+    void reissueSlot(InFlightTrace &t, int slot, Cycle earliest);
+    void reissueConsumersOf(PhysReg reg);
+    /// @}
+
+    /** @name Recovery. */
+    /// @{
+    void recoverCond(InFlightTrace &t, int slot);
+    void recoverIndirect(InFlightTrace &t, int slot);
+    /** Squash one trace (ARB cleanup, register frees, PE release). */
+    void squashTrace(TraceUid uid);
+    /** Squash window entries with index > idx (from the tail down). */
+    void squashAllAfter(int idx);
+    /** Map state just after trace t (snapshot + its live-outs). */
+    RenameMap mapAfter(const InFlightTrace &t) const;
+    /** Speculative history up to and including window[idx]. */
+    PathHistory historyUpTo(int idx) const;
+    /** Point fetch at the continuation of t (fallthrough / indirect). */
+    void redirectAfterTrace(InFlightTrace &t, Cycle resume_at);
+    /** Atomic re-dispatch pass over window[start_idx..]; map must equal
+     *  the state after window[start_idx-1]. */
+    void redispatchFrom(int start_idx, Cycle first_cycle);
+    /** Locate the first control independent trace per the CGCI
+     *  heuristics; -1 if none. @param t the mispredicted trace's index */
+    int findCgciTarget(int t_idx, const DynSlot &branch);
+    void exitInsertModeAbandon();
+    void releaseDeferredFrees();
+    /// @}
+
+    void verifyRetiredSlot(const InFlightTrace &t, const DynSlot &d);
+
+    const Program &prog;
+    ProcessorConfig cfg;
+    ProcessorStats stats;
+
+    Frontend frontend;
+    DCache dcache;
+    Arb arb;
+    PhysRegFile prf;
+    RenameMap map;          //!< speculative map at the dispatch point
+    RenameMap retireMap;    //!< architectural map at retirement
+    SparseMemory mem;       //!< committed memory state
+    std::unique_ptr<Emulator> golden;
+
+    /** The linked-list window: trace uids in logical (program) order. */
+    std::vector<TraceUid> window;
+    std::unordered_map<TraceUid, std::unique_ptr<InFlightTrace>> traces;
+    std::vector<int> freePes;
+
+    std::vector<MispEvent> events;
+    std::deque<BusRequest> busQueue;
+    std::deque<CacheRequest> cacheQueue;
+    std::vector<PhysReg> deferredFree;
+
+    InsertMode insertMode;
+
+    Cycle curCycle = 0;
+    Cycle dispatchBusyUntil = 0;
+    TraceUid nextUid = 1;
+    TraceUid lastDispatchedUid = invalidTraceUid;
+    Addr dispatchExpectedPc;    //!< start pc the next dispatch must have
+    bool simDone = false;
+    Cycle lastRetireCycle = 0;
+};
+
+} // namespace tproc
+
+#endif // TPROC_CORE_PROCESSOR_HH

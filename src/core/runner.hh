@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Convenience drivers shared by examples, benches, and tests: run a
+ * program on a named model, and print human-readable summaries.
+ */
+
+#ifndef TPROC_CORE_RUNNER_HH
+#define TPROC_CORE_RUNNER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/processor.hh"
+
+namespace tproc
+{
+
+/**
+ * Simulate prog on the named model (see ProcessorConfig::forModel).
+ *
+ * @param verify enable golden-model retirement verification
+ * @param max_insts stop after this many retired instructions
+ */
+ProcessorStats runModel(const Program &prog, std::string_view model,
+                        uint64_t max_insts = UINT64_MAX,
+                        bool verify = true);
+
+/** As runModel but with an explicit configuration. */
+ProcessorStats runConfig(const Program &prog, const ProcessorConfig &cfg,
+                         uint64_t max_insts = UINT64_MAX);
+
+/** Print a one-stop summary of a run. */
+void printStats(std::ostream &os, const std::string &title,
+                const ProcessorStats &s);
+
+} // namespace tproc
+
+#endif // TPROC_CORE_RUNNER_HH

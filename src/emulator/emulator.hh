@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The architectural (golden-model) emulator. Executes a Program one
+ * instruction at a time and reports everything a timing simulator needs
+ * to verify retirement: next pc, branch outcome, destination value, and
+ * memory effects.
+ */
+
+#ifndef TPROC_EMULATOR_EMULATOR_HH
+#define TPROC_EMULATOR_EMULATOR_HH
+
+#include <array>
+#include <unordered_map>
+
+#include "program/program.hh"
+
+namespace tproc
+{
+
+/** Sparse word-addressed data memory. Unwritten words read as zero. */
+class SparseMemory
+{
+  public:
+    int64_t
+    read(Addr addr) const
+    {
+        auto it = words.find(addr);
+        return it == words.end() ? 0 : it->second;
+    }
+
+    void write(Addr addr, int64_t value) { words[addr] = value; }
+
+    void
+    load(const std::unordered_map<Addr, int64_t> &image)
+    {
+        for (const auto &[a, v] : image)
+            words[a] = v;
+    }
+
+    size_t footprint() const { return words.size(); }
+
+  private:
+    std::unordered_map<Addr, int64_t> words;
+};
+
+/** Pure ALU evaluation shared between the emulator and the timing
+ *  simulator's execution units. Division by zero yields zero. */
+int64_t evalAlu(Opcode op, int64_t a, int64_t b, int64_t imm);
+
+/** Conditional branch outcome. */
+bool evalBranch(Opcode op, int64_t a, int64_t b);
+
+/** Result of executing one instruction architecturally. */
+struct StepResult
+{
+    Addr pc = 0;
+    Instruction inst;
+    Addr nextPc = 0;
+    bool taken = false;         //!< branch/jump transferred control
+    bool hasDest = false;
+    int64_t destValue = 0;
+    bool isMem = false;
+    Addr memAddr = 0;
+    int64_t memValue = 0;       //!< value loaded or stored
+    bool halted = false;
+};
+
+/**
+ * Architectural state + single-step execution.
+ */
+class Emulator
+{
+  public:
+    explicit Emulator(const Program &prog_);
+
+    /** Execute the instruction at the current pc. */
+    StepResult step();
+
+    bool halted() const { return isHalted; }
+    Addr pc() const { return curPc; }
+    uint64_t instCount() const { return icount; }
+
+    int64_t readReg(ArchReg r) const { return regs[r]; }
+    const SparseMemory &memory() const { return mem; }
+    SparseMemory &memory() { return mem; }
+
+    /** Run until HALT or max_insts, returning instructions executed. */
+    uint64_t run(uint64_t max_insts);
+
+  private:
+    const Program &prog;
+    std::array<int64_t, numArchRegs> regs{};
+    SparseMemory mem;
+    Addr curPc;
+    bool isHalted = false;
+    uint64_t icount = 0;
+};
+
+} // namespace tproc
+
+#endif // TPROC_EMULATOR_EMULATOR_HH

@@ -1,0 +1,81 @@
+#include "isa/disasm.hh"
+
+#include <cstdio>
+
+namespace tproc
+{
+
+std::string
+disassemble(const Instruction &inst)
+{
+    char buf[128];
+    const char *m = opcodeName(inst.op);
+    switch (inst.op) {
+      case Opcode::NOP:
+      case Opcode::HALT:
+        std::snprintf(buf, sizeof(buf), "%s", m);
+        break;
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIVX: case Opcode::AND: case Opcode::OR:
+      case Opcode::XOR: case Opcode::SLL: case Opcode::SRL:
+      case Opcode::SRA: case Opcode::SLT: case Opcode::SLTU:
+        std::snprintf(buf, sizeof(buf), "%s r%d, r%d, r%d", m, inst.rd,
+                      inst.rs1, inst.rs2);
+        break;
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
+      case Opcode::SLTI:
+        std::snprintf(buf, sizeof(buf), "%s r%d, r%d, %lld", m, inst.rd,
+                      inst.rs1, static_cast<long long>(inst.imm));
+        break;
+      case Opcode::LUI:
+        std::snprintf(buf, sizeof(buf), "%s r%d, %lld", m, inst.rd,
+                      static_cast<long long>(inst.imm));
+        break;
+      case Opcode::LD:
+        std::snprintf(buf, sizeof(buf), "%s r%d, %lld(r%d)", m, inst.rd,
+                      static_cast<long long>(inst.imm), inst.rs1);
+        break;
+      case Opcode::ST:
+        std::snprintf(buf, sizeof(buf), "%s r%d, %lld(r%d)", m, inst.rs2,
+                      static_cast<long long>(inst.imm), inst.rs1);
+        break;
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE:
+        std::snprintf(buf, sizeof(buf), "%s r%d, r%d, %lld", m, inst.rs1,
+                      inst.rs2, static_cast<long long>(inst.imm));
+        break;
+      case Opcode::JMP:
+        std::snprintf(buf, sizeof(buf), "%s %lld", m,
+                      static_cast<long long>(inst.imm));
+        break;
+      case Opcode::CALL:
+        std::snprintf(buf, sizeof(buf), "%s r%d, %lld", m, inst.rd,
+                      static_cast<long long>(inst.imm));
+        break;
+      case Opcode::JR: case Opcode::RET:
+        std::snprintf(buf, sizeof(buf), "%s r%d", m, inst.rs1);
+        break;
+      case Opcode::CALLR:
+        std::snprintf(buf, sizeof(buf), "%s r%d, r%d", m, inst.rd,
+                      inst.rs1);
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "<bad op %d>",
+                      static_cast<int>(inst.op));
+        break;
+    }
+    return buf;
+}
+
+std::string
+disassemble(Addr pc, const Instruction &inst)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%6llu: %s",
+                  static_cast<unsigned long long>(pc),
+                  disassemble(inst).c_str());
+    return buf;
+}
+
+} // namespace tproc

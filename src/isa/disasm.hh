@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Disassembly of tproc instructions for debugging and example output.
+ */
+
+#ifndef TPROC_ISA_DISASM_HH
+#define TPROC_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace tproc
+{
+
+/** Render one instruction as text, e.g. "add r3, r1, r2". */
+std::string disassemble(const Instruction &inst);
+
+/** Render with its pc prefix, e.g. "  42: beq r1, r0, 57". */
+std::string disassemble(Addr pc, const Instruction &inst);
+
+} // namespace tproc
+
+#endif // TPROC_ISA_DISASM_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The tproc RISC instruction set.
+ *
+ * The paper evaluates on SimpleScalar/PISA binaries of SPEC95; since those
+ * are unavailable we define a compact, regular 64-bit RISC ISA that the
+ * workload generators target. The microarchitecture is ISA-agnostic; all
+ * it needs from the ISA layer is the classification predicates below
+ * (conditional branch, forward/backward, indirect, call, return, memory).
+ */
+
+#ifndef TPROC_ISA_INSTRUCTION_HH
+#define TPROC_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace tproc
+{
+
+/** Operation codes. */
+enum class Opcode : uint8_t
+{
+    NOP,
+    HALT,       //!< terminate the program
+
+    // Register-register ALU.
+    ADD, SUB, MUL, DIVX, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+
+    // Register-immediate ALU.
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SLTI, LUI,
+
+    // Memory. LD: rd <- mem[rs1 + imm]; ST: mem[rs1 + imm] <- rs2.
+    LD, ST,
+
+    // Conditional branches; target is the absolute instruction index in
+    // imm. BEQ/BNE compare rs1 vs rs2; BLT/BGE are signed.
+    BEQ, BNE, BLT, BGE,
+
+    // Direct unconditional control.
+    JMP,        //!< jump to imm
+    CALL,       //!< rd <- pc+1; jump to imm
+
+    // Indirect control (all of these terminate traces under default
+    // selection, matching the paper's "jump indirect, call indirect, and
+    // return instructions").
+    JR,         //!< jump to r[rs1] (computed goto / switch)
+    CALLR,      //!< rd <- pc+1; jump to r[rs1]
+    RET,        //!< jump to r[rs1]; semantically a subroutine return
+
+    NUM_OPCODES
+};
+
+/**
+ * A static instruction. Fixed layout: up to two register sources, one
+ * register destination, one immediate. Branch/jump targets are absolute
+ * instruction indices held in imm.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    ArchReg rd = 0;
+    ArchReg rs1 = 0;
+    ArchReg rs2 = 0;
+    int64_t imm = 0;
+
+    bool operator==(const Instruction &o) const = default;
+};
+
+/** @name Classification predicates. */
+/// @{
+bool isCondBranch(Opcode op);
+bool isIndirect(Opcode op);     //!< JR, CALLR, RET
+bool isCall(Opcode op);         //!< CALL, CALLR
+bool isReturn(Opcode op);       //!< RET
+bool isDirectJump(Opcode op);   //!< JMP, CALL
+bool isLoad(Opcode op);
+bool isStore(Opcode op);
+bool isControl(Opcode op);      //!< any branch/jump
+
+/** True if the instruction writes a register (and rd != regZero). */
+bool writesReg(const Instruction &inst);
+/** True if the instruction reads rs1 / rs2 respectively. */
+bool readsRs1(const Instruction &inst);
+bool readsRs2(const Instruction &inst);
+/// @}
+
+/**
+ * True for a conditional branch at pc whose target is numerically
+ * greater than pc (a forward branch). Backward conditional branches are
+ * loop branches in our ISA.
+ */
+inline bool
+isForwardBranch(const Instruction &inst, Addr pc)
+{
+    return isCondBranch(inst.op) && static_cast<Addr>(inst.imm) > pc;
+}
+
+inline bool
+isBackwardBranch(const Instruction &inst, Addr pc)
+{
+    return isCondBranch(inst.op) && static_cast<Addr>(inst.imm) <= pc;
+}
+
+/** Execution latency in cycles (Table 1: ALU 1, complex ops at
+ *  MIPS R10000 latencies, address generation 1 + memory access 2). */
+int execLatency(Opcode op);
+
+/** Mnemonic for disassembly. */
+const char *opcodeName(Opcode op);
+
+} // namespace tproc
+
+#endif // TPROC_ISA_INSTRUCTION_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Processing-element-resident trace state.
+ *
+ * Each PE holds one in-flight trace (Figure 2). Intra-trace values are
+ * pre-renamed to producer slot indices and bypass locally; live-in and
+ * live-out registers are renamed to global physical registers at
+ * dispatch. Instructions remain in the PE until retirement, which is
+ * what makes selective reissue transparent (Section 2.2.3): whenever an
+ * input value arrives again, the consumer simply reissues.
+ */
+
+#ifndef TPROC_PE_PROCESSING_ELEMENT_HH
+#define TPROC_PE_PROCESSING_ELEMENT_HH
+
+#include <memory>
+#include <vector>
+
+#include "rename/rename.hh"
+#include "tpred/trace_predictor.hh"
+#include "trace/trace.hh"
+
+namespace tproc
+{
+
+/** Dynamic state of one instruction slot in a PE. */
+struct DynSlot
+{
+    /** @name Static portion (copied from the selected trace). */
+    /// @{
+    Addr pc = 0;
+    Instruction inst;
+    bool isCondBr = false;
+    bool predTaken = false;     //!< outcome the trace was selected with
+    bool inRegion = false;
+    bool regionStart = false;
+    Addr reconvPc = invalidAddr;
+    /// @}
+
+    /** @name Renaming. */
+    /// @{
+    int dep1 = -1;      //!< producer slot index for rs1, or -1
+    int dep2 = -1;
+    PhysReg src1 = invalidPhysReg;  //!< live-in phys reg for rs1
+    PhysReg src2 = invalidPhysReg;
+    PhysReg dest = invalidPhysReg;  //!< live-out phys reg (last writers)
+    /// @}
+
+    /** @name Execution state. */
+    /// @{
+    bool issued = false;
+    bool completed = false;
+    Cycle execDoneAt = 0;   //!< completion time of the in-flight issue
+    Cycle readyAt = 0;      //!< when the local value became consumable
+    Cycle earliestIssue = 0;    //!< dispatch / repair / reissue gate
+    int64_t value = 0;      //!< result (dest value / store data / br cond)
+    bool resolvedTaken = false;     //!< branch outcome of last execution
+    Addr brTarget = invalidAddr;    //!< resolved indirect target
+    int64_t srcVal1 = 0;    //!< operand values captured at issue
+    int64_t srcVal2 = 0;
+    uint32_t issueCount = 0;        //!< times issued (reissue statistics)
+    /** Value-change filter across reissues: consumers only reissue when
+     *  a recompletion actually produced a different value. Deliberately
+     *  not cleared by resetDynamic. */
+    bool everCompleted = false;
+    int64_t lastValue = 0;
+    /// @}
+
+    /** @name Memory state. */
+    /// @{
+    Addr effAddr = invalidAddr;
+    bool agenDone = false;      //!< effective address computed
+    bool performed = false;     //!< store version live in the ARB
+    bool waitingBus = false;    //!< agen done, waiting for a cache bus
+    /// @}
+
+    bool isLoad() const { return inst.op == Opcode::LD; }
+    bool isStore() const { return inst.op == Opcode::ST; }
+
+    /** Clear execution state so the slot issues again from scratch.
+     *  earliestIssue is preserved; callers adjust it explicitly. */
+    void
+    resetDynamic()
+    {
+        issued = completed = false;
+        execDoneAt = readyAt = 0;
+        value = 0;
+        resolvedTaken = false;
+        brTarget = invalidAddr;
+        effAddr = invalidAddr;
+        agenDone = false;
+        performed = false;
+        waitingBus = false;
+    }
+};
+
+/** A live-out register of a trace. */
+struct LiveOut
+{
+    ArchReg arch;
+    PhysReg phys;
+    int slot;
+};
+
+/** A trace resident in a PE, with full recovery metadata. */
+struct InFlightTrace
+{
+    TraceUid uid = invalidTraceUid;
+    std::shared_ptr<const Trace> trace;
+    int peId = -1;
+    std::vector<DynSlot> slots;
+    std::vector<LiveOut> liveOuts;
+
+    /** Global map snapshot taken before this trace was renamed; recovery
+     *  backs the maps up to this state (Section 2.1). */
+    RenameMap mapBefore;
+    /** Trace predictor path history before this trace was predicted. */
+    PathHistory histBefore;
+    /** True if the trace came from the next-trace predictor (vs. being a
+     *  forced fallthrough / fallback construction). */
+    bool fromPredictor = false;
+
+    /** Logical position in the window; re-derived from the PE linked
+     *  list whenever the window changes (disambiguation support). */
+    int64_t logicalPos = -1;
+
+    Cycle dispatchedAt = 0;
+
+    /** Count of executed-and-unhandled branch mispredictions inside this
+     *  trace (retirement gate). */
+    int pendingMisp = 0;
+
+    size_t size() const { return slots.size(); }
+};
+
+/**
+ * Rename a freshly selected trace against the global map.
+ *
+ * The map is updated in place with the trace's live-outs. Intra-trace
+ * dependences become slot indices; live-ins read the pre-update map.
+ */
+std::unique_ptr<InFlightTrace> makeInFlightTrace(
+    TraceUid uid, std::shared_ptr<const Trace> trace, RenameMap &map,
+    PhysRegFile &prf);
+
+/**
+ * Replace the instructions of a PE-resident trace after slot prefix_len
+ * with the repaired trace's instructions (FGCI-style intra-PE repair).
+ *
+ * Slots [0, prefix_len) keep their dynamic state; the repaired trace is
+ * guaranteed by selection determinism to share that prefix. Live-out
+ * physical registers of surviving prefix last-writers are preserved; old
+ * suffix live-outs are appended to deferred_free (released once the
+ * subsequent re-dispatch pass has re-pointed all consumers).
+ *
+ * @param map the global map, already restored to t.mapBefore
+ * @param now current cycle (publishing values of prefix slots that newly
+ *        became live-outs)
+ */
+void repairInFlightTrace(InFlightTrace &t,
+                         std::shared_ptr<const Trace> new_trace,
+                         size_t prefix_len, RenameMap &map, PhysRegFile &prf,
+                         Cycle now, std::vector<PhysReg> &deferred_free);
+
+/**
+ * Trace re-dispatch (Section 2.2.1): re-rename live-ins against the
+ * updated map; live-outs keep their mappings and are re-installed into
+ * the map. @return slot indices whose source register names changed and
+ * must therefore reissue.
+ */
+std::vector<int> redispatchInFlightTrace(InFlightTrace &t, RenameMap &map);
+
+} // namespace tproc
+
+#endif // TPROC_PE_PROCESSING_ELEMENT_HH

@@ -1,0 +1,176 @@
+#include "program/cfg.hh"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace tproc
+{
+
+std::vector<BasicBlock>
+findBasicBlocks(const Program &prog)
+{
+    const size_t n = prog.code.size();
+    std::vector<bool> leader(n + 1, false);
+    if (n == 0)
+        return {};
+
+    leader[prog.entry] = true;
+    for (Addr pc = 0; pc < n; ++pc) {
+        const Instruction &inst = prog.code[pc];
+        if (isCondBranch(inst.op) || isDirectJump(inst.op)) {
+            Addr t = static_cast<Addr>(inst.imm);
+            if (t < n)
+                leader[t] = true;
+        }
+        if (isControl(inst.op) || inst.op == Opcode::HALT) {
+            if (pc + 1 < n)
+                leader[pc + 1] = true;
+        }
+    }
+
+    std::vector<BasicBlock> blocks;
+    Addr start = 0;
+    for (Addr pc = 1; pc <= n; ++pc) {
+        if (pc == n || leader[pc]) {
+            blocks.push_back({start, pc});
+            start = pc;
+        }
+    }
+    return blocks;
+}
+
+int
+blockContaining(const std::vector<BasicBlock> &blocks, Addr pc)
+{
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        if (pc >= blocks[i].start && pc < blocks[i].end)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::optional<RegionInfo>
+analyzeRegionReference(const Program &prog, Addr branch_pc, int max_len)
+{
+    const Instruction &br = prog.fetch(branch_pc);
+    if (!isForwardBranch(br, branch_pc))
+        return std::nullopt;
+
+    // The enumeration is bounded: a valid region's dynamic paths are at
+    // most max_len instructions, and its static extent cannot exceed a few
+    // multiples of that.
+    const Addr bound = branch_pc + 4 * static_cast<Addr>(max_len) + 4;
+    const size_t max_paths = 4096;
+
+    std::vector<std::vector<Addr>> paths;
+    std::vector<Addr> cur;
+    bool failed = false;
+
+    std::function<void(Addr)> dfs = [&](Addr pc) {
+        if (failed)
+            return;
+        // Paths longer than max_len instructions cannot re-converge within
+        // the allowed region size; keep the truncated path, which will
+        // force failure unless re-convergence already happened within it.
+        if (cur.size() > static_cast<size_t>(max_len) + 1 || pc >= bound ||
+            pc >= prog.size()) {
+            if (paths.size() >= max_paths) {
+                failed = true;
+                return;
+            }
+            paths.push_back(cur);
+            return;
+        }
+
+        const Instruction &inst = prog.fetch(pc);
+        cur.push_back(pc);
+
+        if (inst.op == Opcode::HALT) {
+            // The path ends here. If the re-convergent point lies before
+            // the halt, this path still contains it; a halt *inside* the
+            // region simply leaves some path without the common point,
+            // which the convergence check below rejects.
+            if (paths.size() >= max_paths) {
+                failed = true;
+            } else {
+                paths.push_back(cur);
+            }
+        } else if (isCall(inst.op) || isIndirect(inst.op)) {
+            failed = true;
+        } else if (isCondBranch(inst.op)) {
+            if (isBackwardBranch(inst, pc)) {
+                failed = true;
+            } else {
+                dfs(static_cast<Addr>(inst.imm));   // taken
+                dfs(pc + 1);                        // not taken
+            }
+        } else if (inst.op == Opcode::JMP) {
+            Addr t = static_cast<Addr>(inst.imm);
+            if (t <= pc)
+                failed = true;      // backward jump
+            else
+                dfs(t);
+        } else {
+            dfs(pc + 1);
+        }
+        cur.pop_back();
+    };
+
+    dfs(branch_pc);
+    if (failed || paths.empty())
+        return std::nullopt;
+
+    // Re-convergent point: the first pc (in path order of path 0, which is
+    // fine because pcs increase monotonically along forward paths) that
+    // appears in every path.
+    const auto &p0 = paths[0];
+    Addr reconv = invalidAddr;
+    size_t reconv_idx0 = 0;
+    for (size_t i = 1; i < p0.size(); ++i) {
+        Addr cand = p0[i];
+        bool in_all = true;
+        for (size_t pi = 1; pi < paths.size() && in_all; ++pi) {
+            in_all = std::find(paths[pi].begin(), paths[pi].end(), cand) !=
+                paths[pi].end();
+        }
+        if (in_all) {
+            reconv = cand;
+            reconv_idx0 = i;
+            break;
+        }
+    }
+    if (reconv == invalidAddr)
+        return std::nullopt;
+    (void)reconv_idx0;
+
+    RegionInfo info;
+    info.reconvPc = reconv;
+
+    // Longest dynamic path from the branch (inclusive) to the
+    // re-convergent point (exclusive), plus branch census.
+    int longest = 0;
+    std::set<Addr> cond_pcs;
+    for (const auto &p : paths) {
+        auto it = std::find(p.begin(), p.end(), reconv);
+        panic_if(it == p.end(), "reference region: path missed reconv");
+        int len = static_cast<int>(it - p.begin());
+        longest = std::max(longest, len);
+        for (auto pit = p.begin(); pit != it; ++pit) {
+            if (isCondBranch(prog.fetch(*pit).op))
+                cond_pcs.insert(*pit);
+        }
+    }
+    if (longest > max_len)
+        return std::nullopt;
+
+    info.embeddable = true;
+    info.regionSize = longest;
+    info.staticSize = static_cast<int>(reconv - branch_pc);
+    info.numCondBranches = static_cast<int>(cond_pcs.size());
+    return info;
+}
+
+} // namespace tproc

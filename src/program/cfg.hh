@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Static control-flow utilities: basic-block discovery and an exhaustive
+ * (reference) region analysis used to cross-check the hardware FGCI
+ * algorithm in tests.
+ */
+
+#ifndef TPROC_PROGRAM_CFG_HH
+#define TPROC_PROGRAM_CFG_HH
+
+#include <optional>
+#include <vector>
+
+#include "program/program.hh"
+
+namespace tproc
+{
+
+/** A basic block: [start, end) instruction index range. */
+struct BasicBlock
+{
+    Addr start;
+    Addr end;   //!< one past the last instruction
+    size_t size() const { return end - start; }
+};
+
+/** Partition a program into basic blocks (leaders at entry, branch
+ *  targets, and fall-throughs of control instructions). */
+std::vector<BasicBlock> findBasicBlocks(const Program &prog);
+
+/** Index of the basic block containing pc, or -1. */
+int blockContaining(const std::vector<BasicBlock> &blocks, Addr pc);
+
+/**
+ * Reference analysis of the forward-branching region following a
+ * conditional branch: exhaustively enumerates all paths (with memoization)
+ * to find the re-convergent point and the longest path length.
+ *
+ * Mirrors the definitions used by the hardware FGCI algorithm:
+ *   - the region is closed by the most distant forward-taken target;
+ *   - the region size counts instructions from the branch (inclusive) to
+ *     the re-convergent point (exclusive), maximized over paths;
+ *   - the region is invalid if a backward branch, call, indirect jump, or
+ *     HALT occurs before re-convergence, or if any path length exceeds
+ *     maxLen.
+ */
+struct RegionInfo
+{
+    bool embeddable = false;
+    Addr reconvPc = invalidAddr;
+    int regionSize = 0;         //!< longest path, branch incl., reconv excl.
+    int staticSize = 0;         //!< static instr. count branch..reconv
+    int numCondBranches = 0;    //!< conditional branches inside the region
+};
+
+std::optional<RegionInfo> analyzeRegionReference(const Program &prog,
+                                                 Addr branch_pc, int max_len);
+
+} // namespace tproc
+
+#endif // TPROC_PROGRAM_CFG_HH

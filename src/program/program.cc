@@ -1,0 +1,29 @@
+#include "program/program.hh"
+
+#include <sstream>
+
+#include "isa/disasm.hh"
+
+namespace tproc
+{
+
+const Instruction Program::haltInst{Opcode::HALT, 0, 0, 0, 0};
+
+const Instruction &
+Program::fetch(Addr pc) const
+{
+    if (pc >= code.size())
+        return haltInst;
+    return code[pc];
+}
+
+std::string
+Program::disassembly() const
+{
+    std::ostringstream os;
+    for (Addr pc = 0; pc < code.size(); ++pc)
+        os << disassemble(pc, code[pc]) << '\n';
+    return os.str();
+}
+
+} // namespace tproc

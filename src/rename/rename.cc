@@ -1,0 +1,59 @@
+#include "rename/rename.hh"
+
+#include "common/logging.hh"
+
+namespace tproc
+{
+
+PhysRegFile::PhysRegFile(size_t n) : regs(n)
+{
+    panic_if(n < numArchRegs + 2, "PhysRegFile too small");
+    // Register 0 is the architectural zero: always valid, never freed.
+    regs[zeroReg].valid = true;
+    regs[zeroReg].inUse = true;
+    regs[zeroReg].value = 0;
+    regs[zeroReg].readyAt = 0;
+
+    freeList.reserve(n - 1);
+    for (size_t i = n - 1; i >= 1; --i)
+        freeList.push_back(static_cast<PhysReg>(i));
+}
+
+PhysReg
+PhysRegFile::alloc()
+{
+    panic_if(freeList.empty(), "PhysRegFile exhausted");
+    PhysReg r = freeList.back();
+    freeList.pop_back();
+    Entry &e = regs[r];
+    e.valid = false;
+    e.inUse = true;
+    e.value = 0;
+    e.readyAt = 0;
+    return r;
+}
+
+void
+PhysRegFile::free(PhysReg r)
+{
+    if (r == zeroReg)
+        return;
+    Entry &e = regs[r];
+    panic_if(!e.inUse, "double free of physical register %u", r);
+    e.inUse = false;
+    e.valid = false;
+    freeList.push_back(r);
+}
+
+void
+PhysRegFile::write(PhysReg r, int64_t value, Cycle ready_at)
+{
+    panic_if(r == zeroReg, "write to the zero register");
+    Entry &e = regs[r];
+    panic_if(!e.inUse, "write to a free physical register %u", r);
+    e.value = value;
+    e.valid = true;
+    e.readyAt = ready_at;
+}
+
+} // namespace tproc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Global register renaming for the trace processor.
+ *
+ * Only inter-trace values (live-ins and live-outs) are mapped to global
+ * physical registers; intra-trace values are pre-renamed to producer-slot
+ * indices and bypass locally within the PE (Vajapeyam & Mitra 1997). The
+ * global rename map is snapshotted before each trace dispatch so recovery
+ * can back the maps up to the mispredicted trace (Section 2.1).
+ */
+
+#ifndef TPROC_RENAME_RENAME_HH
+#define TPROC_RENAME_RENAME_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tproc
+{
+
+/** Architectural-to-physical map. */
+using RenameMap = std::array<PhysReg, numArchRegs>;
+
+/**
+ * Physical register file with a free list. Register 0 is reserved: it
+ * permanently holds zero (all architectural registers map to it at
+ * reset). Values may be rewritten by selective reissue; consumers are
+ * re-notified through the processor's broadcast path.
+ */
+class PhysRegFile
+{
+  public:
+    explicit PhysRegFile(size_t n = 65536);
+
+    PhysReg alloc();
+    void free(PhysReg r);
+
+    /** Write (or re-broadcast) a value, visible to other PEs from
+     *  ready_at. */
+    void write(PhysReg r, int64_t value, Cycle ready_at);
+
+    bool
+    ready(PhysReg r, Cycle now) const
+    {
+        const Entry &e = regs[r];
+        return e.valid && now >= e.readyAt;
+    }
+
+    bool hasValue(PhysReg r) const { return regs[r].valid; }
+    int64_t value(PhysReg r) const { return regs[r].value; }
+    Cycle readyAt(PhysReg r) const { return regs[r].readyAt; }
+
+    size_t freeCount() const { return freeList.size(); }
+    size_t capacity() const { return regs.size(); }
+
+    /** Reset map: every architectural register reads as zero. */
+    static RenameMap
+    initialMap()
+    {
+        RenameMap m;
+        m.fill(zeroReg);
+        return m;
+    }
+
+    static constexpr PhysReg zeroReg = 0;
+
+  private:
+    struct Entry
+    {
+        int64_t value = 0;
+        bool valid = false;
+        bool inUse = false;
+        Cycle readyAt = 0;
+    };
+
+    std::vector<Entry> regs;
+    std::vector<PhysReg> freeList;
+};
+
+} // namespace tproc
+
+#endif // TPROC_RENAME_RENAME_HH

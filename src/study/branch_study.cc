@@ -1,0 +1,102 @@
+#include "study/branch_study.hh"
+
+#include <unordered_map>
+
+#include "bpred/branch_predictor.hh"
+#include "emulator/emulator.hh"
+#include "trace/fgci.hh"
+
+namespace tproc
+{
+
+namespace
+{
+
+/** Static classification of one conditional branch. */
+struct BranchClass
+{
+    enum Kind { FGCI_SMALL, FGCI_LARGE, OTHER_FORWARD, BACKWARD } kind;
+    int dynRegionSize = 0;
+    int statRegionSize = 0;
+    int condBranchesInRegion = 0;
+};
+
+BranchClass
+classify(const Program &prog, Addr pc, int max_trace_len, int large_limit)
+{
+    const Instruction &inst = prog.fetch(pc);
+    BranchClass c;
+    if (isBackwardBranch(inst, pc)) {
+        c.kind = BranchClass::BACKWARD;
+        return c;
+    }
+
+    FgciResult small = analyzeFgci(prog, pc, max_trace_len);
+    if (small.embeddable) {
+        c.kind = BranchClass::FGCI_SMALL;
+        c.dynRegionSize = small.regionSize;
+        c.statRegionSize = static_cast<int>(small.reconvPc - pc);
+        for (Addr p = pc; p < small.reconvPc; ++p) {
+            if (isCondBranch(prog.fetch(p).op))
+                ++c.condBranchesInRegion;
+        }
+        return c;
+    }
+
+    // Re-scan with a generous bound: an embeddable region that simply
+    // does not fit in a trace is the paper's "> 32" class.
+    FgciResult large = analyzeFgci(prog, pc, large_limit, 64);
+    c.kind = large.embeddable ? BranchClass::FGCI_LARGE :
+        BranchClass::OTHER_FORWARD;
+    return c;
+}
+
+} // anonymous namespace
+
+BranchStudy
+studyBranches(const Program &prog, uint64_t max_insts, int max_trace_len,
+              int large_limit)
+{
+    BranchStudy study;
+    Emulator emu(prog);
+    BranchPredictor bpred;
+    std::unordered_map<Addr, BranchClass> classes;
+
+    while (!emu.halted() && study.insts < max_insts) {
+        StepResult r = emu.step();
+        ++study.insts;
+        if (!isCondBranch(r.inst.op))
+            continue;
+
+        auto it = classes.find(r.pc);
+        if (it == classes.end()) {
+            it = classes.emplace(
+                r.pc, classify(prog, r.pc, max_trace_len, large_limit))
+                .first;
+        }
+        const BranchClass &c = it->second;
+
+        bool pred = bpred.predictAndTrain(r.pc, r.taken);
+        bool misp = pred != r.taken;
+
+        BranchClassStats *s = nullptr;
+        switch (c.kind) {
+          case BranchClass::FGCI_SMALL: s = &study.fgciSmall; break;
+          case BranchClass::FGCI_LARGE: s = &study.fgciLarge; break;
+          case BranchClass::OTHER_FORWARD: s = &study.otherForward; break;
+          case BranchClass::BACKWARD: s = &study.backward; break;
+        }
+        ++s->execs;
+        if (misp)
+            ++s->misps;
+
+        if (c.kind == BranchClass::FGCI_SMALL) {
+            study.dynRegionSizeSum += c.dynRegionSize;
+            study.statRegionSizeSum += c.statRegionSize;
+            study.condBranchesInRegionSum += c.condBranchesInRegion;
+        }
+    }
+    return study;
+}
+
+} // namespace tproc

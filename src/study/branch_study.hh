@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Branch classification study (reproduces Table 5): runs a program on
+ * the functional emulator with the Table-1 branch predictor, classifies
+ * every conditional branch as FGCI-embeddable (region <= trace length /
+ * larger), other forward, or backward, and accumulates execution and
+ * misprediction counts plus region geometry per class.
+ */
+
+#ifndef TPROC_STUDY_BRANCH_STUDY_HH
+#define TPROC_STUDY_BRANCH_STUDY_HH
+
+#include <cstdint>
+
+#include "program/program.hh"
+
+namespace tproc
+{
+
+/** Per-class execution/misprediction counters. */
+struct BranchClassStats
+{
+    uint64_t execs = 0;
+    uint64_t misps = 0;
+
+    double
+    mispRate() const
+    {
+        return execs ? static_cast<double>(misps) / execs : 0.0;
+    }
+};
+
+/** Results of a branch study (one benchmark). */
+struct BranchStudy
+{
+    uint64_t insts = 0;
+    BranchClassStats fgciSmall;     //!< embeddable, region <= maxTraceLen
+    BranchClassStats fgciLarge;     //!< embeddable region, but too long
+    BranchClassStats otherForward;
+    BranchClassStats backward;
+
+    /** Region geometry, weighted by dynamic executions of FGCI
+     *  branches. */
+    double dynRegionSizeSum = 0;
+    double statRegionSizeSum = 0;
+    double condBranchesInRegionSum = 0;
+
+    uint64_t
+    condExecs() const
+    {
+        return fgciSmall.execs + fgciLarge.execs + otherForward.execs +
+            backward.execs;
+    }
+
+    uint64_t
+    condMisps() const
+    {
+        return fgciSmall.misps + fgciLarge.misps + otherForward.misps +
+            backward.misps;
+    }
+
+    double
+    overallMispRate() const
+    {
+        return condExecs() ?
+            static_cast<double>(condMisps()) / condExecs() : 0.0;
+    }
+
+    double
+    mispPerKilo() const
+    {
+        return insts ? 1000.0 * condMisps() / insts : 0.0;
+    }
+
+    double
+    avgDynRegionSize() const
+    {
+        return fgciSmall.execs ? dynRegionSizeSum / fgciSmall.execs : 0.0;
+    }
+
+    double
+    avgStatRegionSize() const
+    {
+        return fgciSmall.execs ? statRegionSizeSum / fgciSmall.execs : 0.0;
+    }
+
+    double
+    avgCondBranchesInRegion() const
+    {
+        return fgciSmall.execs ?
+            condBranchesInRegionSum / fgciSmall.execs : 0.0;
+    }
+};
+
+/**
+ * Run the study.
+ *
+ * @param max_insts emulate at most this many instructions
+ * @param max_trace_len the FGCI "fits in a trace" threshold (32)
+ * @param large_limit region-scan bound distinguishing a too-long forward
+ *        region from a non-region
+ */
+BranchStudy studyBranches(const Program &prog, uint64_t max_insts,
+                          int max_trace_len = 32, int large_limit = 512);
+
+} // namespace tproc
+
+#endif // TPROC_STUDY_BRANCH_STUDY_HH

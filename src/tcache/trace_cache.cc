@@ -1,0 +1,79 @@
+#include "tcache/trace_cache.hh"
+
+#include "common/logging.hh"
+
+namespace tproc
+{
+
+TraceCache::TraceCache(const Params &p)
+    : sets(p.sizeBytes / (p.assoc * p.lineInsts * Params::instBytes)),
+      assoc(p.assoc), array(sets * p.assoc)
+{
+    panic_if(sets == 0 || (sets & (sets - 1)) != 0,
+             "TraceCache: set count must be a power of two");
+}
+
+std::shared_ptr<const Trace>
+TraceCache::lookup(const TraceId &id)
+{
+    ++lookups;
+    ++useClock;
+    size_t set = setIndex(id);
+    for (size_t w = 0; w < assoc; ++w) {
+        Way &way = array[set * assoc + w];
+        if (way.trace && way.trace->id == id) {
+            way.lastUse = useClock;
+            return way.trace;
+        }
+    }
+    ++misses;
+    return nullptr;
+}
+
+std::shared_ptr<const Trace>
+TraceCache::probe(const TraceId &id) const
+{
+    size_t set = setIndex(id);
+    for (size_t w = 0; w < assoc; ++w) {
+        const Way &way = array[set * assoc + w];
+        if (way.trace && way.trace->id == id)
+            return way.trace;
+    }
+    return nullptr;
+}
+
+void
+TraceCache::insert(std::shared_ptr<const Trace> trace)
+{
+    ++useClock;
+    size_t set = setIndex(trace->id);
+    size_t victim = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (size_t w = 0; w < assoc; ++w) {
+        Way &way = array[set * assoc + w];
+        if (way.trace && way.trace->id == trace->id) {
+            way.trace = std::move(trace);
+            way.lastUse = useClock;
+            return;
+        }
+        if (!way.trace) {
+            victim = w;
+            oldest = 0;
+        } else if (way.lastUse < oldest) {
+            victim = w;
+            oldest = way.lastUse;
+        }
+    }
+    array[set * assoc + victim] = {std::move(trace), useClock};
+}
+
+void
+TraceCache::reset()
+{
+    for (auto &w : array)
+        w.trace.reset();
+    lookups = misses = 0;
+    useClock = 0;
+}
+
+} // namespace tproc

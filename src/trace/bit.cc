@@ -1,0 +1,86 @@
+#include "trace/bit.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace tproc
+{
+
+Bit::Bit(const Params &p)
+    : params(p), sets(p.entries / p.assoc),
+      setShift(std::bit_width(sets) - 1), array(sets * p.assoc)
+{
+    panic_if(sets == 0 || (sets & (sets - 1)) != 0,
+             "Bit: set count must be a power of two");
+}
+
+const BitEntry &
+Bit::lookup(const Program &prog, Addr pc, int *scan_cycles)
+{
+    ++lookups;
+    ++useClock;
+    if (scan_cycles)
+        *scan_cycles = 0;
+
+    size_t set = setIndex(pc);
+    Addr tag = tagOf(pc);
+    size_t victim = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (size_t w = 0; w < params.assoc; ++w) {
+        Way &way = array[set * params.assoc + w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = useClock;
+            return way.entry;
+        }
+        if (!way.valid) {
+            victim = w;
+            oldest = 0;
+        } else if (way.lastUse < oldest) {
+            victim = w;
+            oldest = way.lastUse;
+        }
+    }
+
+    // Miss: run the FGCI-algorithm (the BIT miss handler).
+    ++misses;
+    FgciResult res = analyzeFgci(prog, pc, params.maxTraceLen,
+                                 params.edgeArraySize);
+    scanInsts += res.scannedInsts;
+    if (scan_cycles)
+        *scan_cycles = res.scannedInsts;
+
+    Way &way = array[set * params.assoc + victim];
+    way.valid = true;
+    way.tag = tag;
+    way.lastUse = useClock;
+    way.entry.embeddable = res.embeddable;
+    way.entry.regionSize = res.regionSize;
+    way.entry.reconvOffset =
+        res.embeddable ? static_cast<int>(res.reconvPc - pc) : 0;
+    return way.entry;
+}
+
+const BitEntry *
+Bit::probe(Addr pc) const
+{
+    size_t set = setIndex(pc);
+    Addr tag = tagOf(pc);
+    for (size_t w = 0; w < params.assoc; ++w) {
+        const Way &way = array[set * params.assoc + w];
+        if (way.valid && way.tag == tag)
+            return &way.entry;
+    }
+    return nullptr;
+}
+
+void
+Bit::reset()
+{
+    for (auto &w : array)
+        w.valid = false;
+    lookups = misses = scanInsts = 0;
+    useClock = 0;
+}
+
+} // namespace tproc

@@ -1,0 +1,112 @@
+#include "trace/fgci.hh"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace tproc
+{
+
+FgciResult
+analyzeFgci(const Program &prog, Addr branch_pc, int max_len,
+            int edge_array_size)
+{
+    FgciResult res;
+
+    const Instruction &br = prog.fetch(branch_pc);
+    if (!isForwardBranch(br, branch_pc))
+        return res;
+
+    // Pending control-flow edges: (target pc, longest path length at the
+    // edge source, i.e. including the source instruction).
+    struct Edge { Addr target; int len; };
+    std::vector<Edge> edges;
+
+    Addr max_target = static_cast<Addr>(br.imm);
+    edges.push_back({max_target, 1});   // the branch itself has length 1
+
+    // Longest path to the previous sequential instruction, if it falls
+    // through to the current one.
+    std::optional<int> prev_len = 1;    // the branch falls through
+
+    Addr pc = branch_pc + 1;
+    while (true) {
+        ++res.scannedInsts;
+
+        // Gather incoming edges for this pc.
+        std::optional<int> incoming;
+        if (prev_len)
+            incoming = *prev_len;
+        for (auto it = edges.begin(); it != edges.end();) {
+            if (it->target == pc) {
+                if (!incoming || it->len > *incoming)
+                    incoming = it->len;
+                it = edges.erase(it);   // edge consumed
+            } else {
+                ++it;
+            }
+        }
+
+        // Re-convergence: scanning reached the most distant taken target.
+        if (pc == max_target) {
+            panic_if(!incoming, "fgci: re-convergent point unreachable");
+            if (*incoming > max_len)
+                return res;     // longest path does not fit in a trace
+            res.embeddable = true;
+            res.reconvPc = pc;
+            res.regionSize = *incoming;
+            return res;
+        }
+
+        if (!incoming) {
+            // Unreachable filler (e.g. after an unconditional jump, before
+            // the next target); skip it.
+            prev_len = std::nullopt;
+            ++pc;
+            if (pc >= prog.size())
+                return res;
+            continue;
+        }
+
+        int v = *incoming + 1;
+        if (v > max_len)
+            return res;     // a path exceeded the maximum trace length
+
+        const Instruction &inst = prog.fetch(pc);
+
+        if (isCall(inst.op) || isIndirect(inst.op) ||
+            inst.op == Opcode::HALT) {
+            return res;
+        }
+
+        if (isCondBranch(inst.op)) {
+            if (isBackwardBranch(inst, pc))
+                return res;
+            Addr t = static_cast<Addr>(inst.imm);
+            if (static_cast<int>(edges.size()) >= edge_array_size)
+                return res;     // hardware edge array exhausted
+            edges.push_back({t, v});
+            max_target = std::max(max_target, t);
+            prev_len = v;           // falls through
+        } else if (inst.op == Opcode::JMP) {
+            Addr t = static_cast<Addr>(inst.imm);
+            if (t <= pc)
+                return res;     // backward jump: loop
+            if (static_cast<int>(edges.size()) >= edge_array_size)
+                return res;
+            edges.push_back({t, v});
+            max_target = std::max(max_target, t);
+            prev_len = std::nullopt;    // no fall-through
+        } else {
+            prev_len = v;
+        }
+
+        ++pc;
+        if (pc >= prog.size())
+            return res;
+    }
+}
+
+} // namespace tproc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The FGCI-algorithm (Section 3.1): a single-pass hardware scan that
+ * detects forward-branching embeddable regions, locates the re-convergent
+ * point, and computes the longest control-dependent path length (longest
+ * path through a topologically-sorted DAG).
+ *
+ * Hardware-faithful constraints modeled:
+ *   - single serial scan at one instruction per cycle (scannedInsts is
+ *     the latency charged to the BIT miss handler);
+ *   - a small associative array holds pending branch-target edges; if
+ *     more than edgeArraySize edges are simultaneously outstanding the
+ *     branch is declared not embeddable;
+ *   - the region is abandoned on any backward branch, call, indirect
+ *     jump, or halt before re-convergence, or when any path length
+ *     exceeds the maximum trace length.
+ */
+
+#ifndef TPROC_TRACE_FGCI_HH
+#define TPROC_TRACE_FGCI_HH
+
+#include "program/program.hh"
+
+namespace tproc
+{
+
+/** Result of scanning one candidate branch. */
+struct FgciResult
+{
+    bool embeddable = false;
+    Addr reconvPc = invalidAddr;
+    /** Longest path: branch inclusive, re-convergent point exclusive. */
+    int regionSize = 0;
+    /** Instructions scanned (= cycles the scan occupied). */
+    int scannedInsts = 0;
+};
+
+/**
+ * Run the FGCI-algorithm for the conditional branch at branch_pc.
+ *
+ * @param prog the static program
+ * @param branch_pc pc of a conditional branch
+ * @param max_len maximum trace length (paths longer than this disqualify)
+ * @param edge_array_size capacity of the pending-edge associative array
+ */
+FgciResult analyzeFgci(const Program &prog, Addr branch_pc, int max_len,
+                       int edge_array_size = 8);
+
+} // namespace tproc
+
+#endif // TPROC_TRACE_FGCI_HH

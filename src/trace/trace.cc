@@ -1,0 +1,58 @@
+#include "trace/trace.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "isa/disasm.hh"
+
+namespace tproc
+{
+
+std::string
+TraceId::str() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "T[%llu:%u/%u]",
+                  static_cast<unsigned long long>(startPc), outcomes,
+                  numBranches);
+    return buf;
+}
+
+const char *
+traceEndName(TraceEnd end)
+{
+    switch (end) {
+      case TraceEnd::LENGTH: return "length";
+      case TraceEnd::INDIRECT: return "indirect";
+      case TraceEnd::NTB: return "ntb";
+      case TraceEnd::HALT: return "halt";
+      case TraceEnd::FG_DEFER: return "fg-defer";
+    }
+    return "?";
+}
+
+bool
+Trace::endsInReturn() const
+{
+    return !slots.empty() && isReturn(slots.back().inst.op);
+}
+
+std::string
+Trace::str() const
+{
+    std::ostringstream os;
+    os << id.str() << " len=" << slots.size() << " accrued=" << accruedLen
+       << " end=" << traceEndName(end) << '\n';
+    for (const auto &s : slots) {
+        os << "  " << disassemble(s.pc, s.inst);
+        if (s.isCondBr)
+            os << (s.taken ? "  [T]" : "  [N]");
+        if (s.regionStart)
+            os << "  region->"
+               << static_cast<unsigned long long>(s.reconvPc);
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace tproc

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Synthetic SPEC95-integer-analog workloads.
+ *
+ * The paper evaluates on the SPEC95 integer benchmarks (Table 2). Those
+ * binaries and inputs are unavailable here, so each workload below is a
+ * generated program tuned to reproduce the corresponding benchmark's
+ * branch profile from Table 5: the fraction of FGCI-embeddable branches
+ * and their region sizes, the share of other forward branches, the share
+ * and predictability of backward (loop) branches, and the overall
+ * misprediction rate. DESIGN.md discusses why this substitution preserves
+ * the evaluation's behaviour.
+ */
+
+#ifndef TPROC_WORKLOADS_WORKLOADS_HH
+#define TPROC_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "program/program.hh"
+
+namespace tproc
+{
+
+struct Workload
+{
+    std::string name;
+    Program program;
+    /** Safety cap for simulations (the program halts naturally before
+     *  this in normal runs). */
+    uint64_t maxInsts = 0;
+    /** The Table-5 character this workload targets. */
+    std::string profileNote;
+};
+
+/** Names of the eight workloads (paper benchmark order). */
+const std::vector<std::string> &workloadNames();
+
+/** Build one workload by name (seed controls its random data). */
+Workload makeWorkload(const std::string &name, uint64_t seed = 1,
+                      double scale = 1.0);
+
+/** Build all eight. @param scale multiplies iteration counts. */
+std::vector<Workload> makeAllWorkloads(uint64_t seed = 1,
+                                       double scale = 1.0);
+
+} // namespace tproc
+
+#endif // TPROC_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * ARB tests: store-to-load forwarding, version ordering, snoop-driven
+ * violations (late stores, value changes, undo), commit, and ordering
+ * through the window-position callback — including mid-window insertion
+ * (the CGCI case the sequence-number translation exists for).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "arb/arb.hh"
+
+namespace tproc
+{
+namespace
+{
+
+/** Test fixture with a mutable logical order (simulating the window). */
+class ArbTest : public ::testing::Test
+{
+  protected:
+    ArbTest()
+        : arb([this](TraceUid uid) {
+              auto it = order.find(uid);
+              return it == order.end() ? -1 : it->second;
+          })
+    {}
+
+    std::map<TraceUid, int64_t> order;
+    Arb arb;
+    SparseMemory mem;
+};
+
+} // namespace
+
+TEST_F(ArbTest, ForwardsLatestEarlierVersion)
+{
+    order = {{1, 0}, {2, 1}, {3, 2}, {4, 3}};
+    arb.storePerform(1, 0, 100, 11);
+    arb.storePerform(3, 0, 100, 22);
+
+    auto r = arb.loadAccess(4, 0, 100, mem);
+    EXPECT_TRUE(r.fromStore);
+    EXPECT_EQ(r.value, 22);
+    EXPECT_EQ(r.src.uid, 3u);
+
+    // A load logically between the stores sees the older version.
+    auto r2 = arb.loadAccess(2, 5, 100, mem);
+    EXPECT_EQ(r2.value, 11);
+}
+
+TEST_F(ArbTest, FallsBackToMemory)
+{
+    order = {{1, 0}};
+    mem.write(200, 55);
+    auto r = arb.loadAccess(1, 0, 200, mem);
+    EXPECT_FALSE(r.fromStore);
+    EXPECT_EQ(r.value, 55);
+}
+
+TEST_F(ArbTest, LateStoreFlagsViolation)
+{
+    order = {{1, 0}, {2, 1}};
+    mem.write(100, 5);
+    auto r = arb.loadAccess(2, 0, 100, mem);    // load first: memory
+    EXPECT_EQ(r.value, 5);
+
+    arb.storePerform(1, 0, 100, 42);            // older store arrives late
+    auto v = arb.takeViolations();
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].uid, 2u);
+    EXPECT_EQ(v[0].slot, 0);
+}
+
+TEST_F(ArbTest, YoungerStoreDoesNotFlag)
+{
+    order = {{1, 0}, {2, 1}};
+    arb.loadAccess(1, 0, 100, mem);
+    arb.storePerform(2, 0, 100, 9);     // logically after the load
+    EXPECT_TRUE(arb.takeViolations().empty());
+}
+
+TEST_F(ArbTest, ValueChangeOnReperformFlags)
+{
+    order = {{1, 0}, {2, 1}};
+    arb.storePerform(1, 0, 100, 7);
+    arb.loadAccess(2, 0, 100, mem);
+    // Same store re-performs with the same value: no violation.
+    arb.storePerform(1, 0, 100, 7);
+    EXPECT_TRUE(arb.takeViolations().empty());
+    // Different value: the consumer must reissue.
+    arb.storePerform(1, 0, 100, 8);
+    EXPECT_EQ(arb.takeViolations().size(), 1u);
+}
+
+TEST_F(ArbTest, StoreUndoFlagsConsumers)
+{
+    order = {{1, 0}, {2, 1}};
+    arb.storePerform(1, 0, 100, 7);
+    arb.loadAccess(2, 0, 100, mem);
+    arb.storeUndo(1, 0);
+    auto v = arb.takeViolations();
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].uid, 2u);
+    // The version is gone: re-access falls to memory.
+    auto r = arb.loadAccess(2, 0, 100, mem);
+    EXPECT_FALSE(r.fromStore);
+}
+
+TEST_F(ArbTest, AddressChangeUndoesOldAddress)
+{
+    order = {{1, 0}, {2, 1}};
+    arb.storePerform(1, 0, 100, 7);
+    arb.loadAccess(2, 0, 100, mem);
+    // The store re-executes to a different address: implicit undo of the
+    // old one flags the consumer.
+    arb.storePerform(1, 0, 104, 7);
+    auto v = arb.takeViolations();
+    ASSERT_GE(v.size(), 1u);
+    EXPECT_EQ(v[0].uid, 2u);
+    EXPECT_EQ(arb.storeCount(), 1u);
+}
+
+TEST_F(ArbTest, CommitWritesMemoryAndRepointsLoads)
+{
+    order = {{1, 0}, {2, 1}};
+    arb.storePerform(1, 0, 100, 7);
+    arb.loadAccess(2, 0, 100, mem);
+    arb.commitStore(1, 0, mem);
+    EXPECT_EQ(mem.read(100), 7);
+    EXPECT_EQ(arb.storeCount(), 0u);
+    // The load's source is now memory; a later same-value store perform
+    // at the same address from a retired... just verify no dangling
+    // ordering queries: snoop with a fresh store.
+    order[3] = 2;
+    arb.storePerform(3, 0, 100, 9);     // younger than the load: no flag
+    EXPECT_TRUE(arb.takeViolations().empty());
+}
+
+TEST_F(ArbTest, MidWindowInsertionOrdering)
+{
+    // Window [1, 5]: a load in 5 consumes memory. Then trace 3 is
+    // inserted between them (CGCI) and stores to the same address: the
+    // load must be flagged, using the *new* logical order.
+    order = {{1, 0}, {5, 1}};
+    arb.loadAccess(5, 0, 300, mem);
+
+    order = {{1, 0}, {3, 1}, {5, 2}};   // insertion re-numbers
+    arb.storePerform(3, 0, 300, 42);
+    auto v = arb.takeViolations();
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].uid, 5u);
+
+    auto r = arb.loadAccess(5, 0, 300, mem);
+    EXPECT_EQ(r.value, 42);
+}
+
+TEST_F(ArbTest, IntraTraceSlotOrdering)
+{
+    order = {{1, 0}};
+    arb.storePerform(1, 3, 100, 7);     // store at slot 3
+    auto r = arb.loadAccess(1, 5, 100, mem);    // later slot: forwarded
+    EXPECT_EQ(r.value, 7);
+    auto r2 = arb.loadAccess(1, 1, 100, mem);   // earlier slot: memory
+    EXPECT_FALSE(r2.fromStore);
+}
+
+TEST_F(ArbTest, LoadRemoveStopsSnooping)
+{
+    order = {{1, 0}, {2, 1}};
+    arb.loadAccess(2, 0, 100, mem);
+    arb.loadRemove(2, 0);
+    arb.storePerform(1, 0, 100, 1);
+    EXPECT_TRUE(arb.takeViolations().empty());
+    EXPECT_EQ(arb.loadCount(), 0u);
+}
+
+} // namespace tproc

@@ -1,0 +1,159 @@
+/** @file Program builder + golden emulator tests. */
+
+#include <gtest/gtest.h>
+
+#include "emulator/emulator.hh"
+#include "program/builder.hh"
+#include "program/cfg.hh"
+
+namespace tproc
+{
+
+TEST(Builder, ForwardLabelFixup)
+{
+    ProgramBuilder b("t");
+    auto target = b.newLabel();
+    b.beq(1, 2, target);
+    b.addi(3, 3, 1);
+    b.bind(target);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_EQ(p.code[0].imm, 2);    // branch resolves to the halt
+}
+
+TEST(Builder, OutOfRangeFetchIsHalt)
+{
+    ProgramBuilder b("t");
+    b.nop();
+    Program p = b.finish();
+    EXPECT_EQ(p.fetch(500).op, Opcode::HALT);
+}
+
+TEST(Emulator, ArithmeticAndMemory)
+{
+    ProgramBuilder b("t");
+    b.li(3, 21);
+    b.slli(4, 3, 1);        // r4 = 42
+    b.st(4, 0, 100);        // mem[100] = 42
+    b.ld(5, 0, 100);        // r5 = 42
+    b.addi(5, 5, -2);       // r5 = 40
+    b.halt();
+    Program p = b.finish();
+
+    Emulator e(p);
+    e.run(100);
+    EXPECT_TRUE(e.halted());
+    EXPECT_EQ(e.readReg(4), 42);
+    EXPECT_EQ(e.readReg(5), 40);
+    EXPECT_EQ(e.memory().read(100), 42);
+}
+
+TEST(Emulator, DataInitLoaded)
+{
+    ProgramBuilder b("t");
+    b.data(500, 77);
+    b.ld(3, 0, 500);
+    b.halt();
+    Program p = b.finish();
+    Emulator e(p);
+    e.run(10);
+    EXPECT_EQ(e.readReg(3), 77);
+}
+
+TEST(Emulator, LoopAndBranches)
+{
+    ProgramBuilder b("t");
+    b.li(3, 10);
+    b.li(4, 0);
+    auto top = b.newLabel();
+    b.bind(top);
+    b.addi(4, 4, 2);
+    b.addi(3, 3, -1);
+    b.bne(3, 0, top);
+    b.halt();
+    Program p = b.finish();
+
+    Emulator e(p);
+    uint64_t n = e.run(1000);
+    EXPECT_TRUE(e.halted());
+    EXPECT_EQ(e.readReg(4), 20);
+    EXPECT_EQ(n, 2u + 3u * 10u + 1u);
+}
+
+TEST(Emulator, CallAndReturn)
+{
+    ProgramBuilder b("t");
+    auto start = b.newLabel();
+    b.jmp(start);
+    auto fn = b.newLabel();
+    b.bind(fn);
+    b.addi(4, 4, 5);
+    b.ret();
+    b.bind(start);
+    b.call(fn);
+    b.call(fn);
+    b.halt();
+    Program p = b.finish();
+
+    Emulator e(p);
+    e.run(100);
+    EXPECT_TRUE(e.halted());
+    EXPECT_EQ(e.readReg(4), 10);
+}
+
+TEST(Emulator, IndirectJump)
+{
+    ProgramBuilder b("t");
+    auto target = b.newLabel();
+    b.li(3, 0);             // placeholder, fixed below
+    b.jr(3);
+    b.addi(4, 4, 99);       // skipped
+    b.bind(target);
+    b.addi(4, 4, 1);
+    b.halt();
+    Program p = b.finish();
+    p.code[0].imm = static_cast<int64_t>(b.labelAddr(target));
+
+    Emulator e(p);
+    e.run(100);
+    EXPECT_EQ(e.readReg(4), 1);
+}
+
+TEST(Emulator, ZeroRegisterStaysZero)
+{
+    ProgramBuilder b("t");
+    b.addi(0, 0, 99);
+    b.add(3, 0, 0);
+    b.halt();
+    Program p = b.finish();
+    Emulator e(p);
+    e.run(10);
+    EXPECT_EQ(e.readReg(0), 0);
+    EXPECT_EQ(e.readReg(3), 0);
+}
+
+TEST(Cfg, BasicBlocks)
+{
+    ProgramBuilder b("t");
+    b.addi(3, 3, 1);        // 0
+    auto l = b.newLabel();
+    b.beq(3, 0, l);         // 1: ends block
+    b.addi(4, 4, 1);        // 2
+    b.bind(l);
+    b.addi(5, 5, 1);        // 3: leader (branch target)
+    b.halt();               // 4
+    Program p = b.finish();
+
+    auto blocks = findBasicBlocks(p);
+    ASSERT_EQ(blocks.size(), 3u);
+    EXPECT_EQ(blocks[0].start, 0u);
+    EXPECT_EQ(blocks[0].end, 2u);
+    EXPECT_EQ(blocks[1].start, 2u);
+    EXPECT_EQ(blocks[1].end, 3u);
+    EXPECT_EQ(blocks[2].start, 3u);
+    EXPECT_EQ(blocks[2].end, 5u);
+    EXPECT_EQ(blockContaining(blocks, 4), 2);
+    EXPECT_EQ(blockContaining(blocks, 99), -1);
+}
+
+} // namespace tproc

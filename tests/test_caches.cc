@@ -1,0 +1,129 @@
+/** @file Cache model tests: set-assoc LRU, icache costing, dcache, BIT,
+ *  trace cache. */
+
+#include <gtest/gtest.h>
+
+#include "cache/dcache.hh"
+#include "program/builder.hh"
+#include "cache/icache.hh"
+#include "cache/set_assoc_cache.hh"
+#include "tcache/trace_cache.hh"
+#include "trace/bit.hh"
+
+namespace tproc
+{
+
+TEST(SetAssocCache, HitAfterMiss)
+{
+    SetAssocCache c(1024, 2, 64);   // 8 sets x 2 ways
+    EXPECT_FALSE(c.access(0));
+    EXPECT_TRUE(c.access(0));
+    EXPECT_TRUE(c.access(63));      // same line
+    EXPECT_FALSE(c.access(64));     // next line
+    EXPECT_EQ(c.misses, 2u);
+    EXPECT_EQ(c.accesses, 4u);
+}
+
+TEST(SetAssocCache, LruEviction)
+{
+    SetAssocCache c(1024, 2, 64);   // 8 sets
+    // Three lines mapping to set 0: line addresses 0, 8, 16.
+    c.access(0 * 64 * 8);
+    c.access(1 * 64 * 8);
+    EXPECT_TRUE(c.access(0));           // touch line 0: now MRU
+    EXPECT_FALSE(c.access(2 * 64 * 8)); // evicts line 8 (LRU)
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(1 * 64 * 8));
+}
+
+TEST(SetAssocCache, FillDoesNotCountAccess)
+{
+    SetAssocCache c(1024, 2, 64);
+    c.fill(0);
+    EXPECT_EQ(c.accesses, 0u);
+    EXPECT_TRUE(c.access(0));
+}
+
+TEST(ICache, FetchCostColdAndWarm)
+{
+    ICache ic;
+    // Cold: one line, 1 cycle + 12 miss penalty.
+    EXPECT_EQ(ic.fetchCost(0, 8), 13);
+    // Warm: same line, 1 cycle.
+    EXPECT_EQ(ic.fetchCost(0, 8), 1);
+    // Straddling two lines (interleaved banks): warm = 1 cycle.
+    ic.fetchCost(16, 1);
+    EXPECT_EQ(ic.fetchCost(12, 8), 1);
+}
+
+TEST(DCache, LatencyHitMiss)
+{
+    DCache dc;
+    EXPECT_EQ(dc.loadLatency(100), 16);     // 2 + 14 cold
+    EXPECT_EQ(dc.loadLatency(100), 2);      // hit
+    dc.storeCommit(5000);
+    EXPECT_EQ(dc.loadLatency(5000), 2);     // write-allocate
+}
+
+TEST(Bit, CachesAnalysisAndChargesScanOnce)
+{
+    ProgramBuilder b("t");
+    auto t = b.newLabel();
+    b.bne(1, 2, t);
+    b.addi(3, 3, 1);
+    b.bind(t);
+    b.halt();
+    Program p = b.finish();
+
+    Bit bit;
+    int scan = -1;
+    const BitEntry &e1 = bit.lookup(p, 0, &scan);
+    EXPECT_TRUE(e1.embeddable);
+    EXPECT_GT(scan, 0);
+    EXPECT_EQ(bit.misses, 1u);
+
+    const BitEntry &e2 = bit.lookup(p, 0, &scan);
+    EXPECT_TRUE(e2.embeddable);
+    EXPECT_EQ(scan, 0);         // hit: no scan latency
+    EXPECT_EQ(bit.misses, 1u);
+    EXPECT_EQ(bit.lookups, 2u);
+
+    EXPECT_NE(bit.probe(0), nullptr);
+    EXPECT_EQ(bit.probe(12345), nullptr);
+}
+
+TEST(TraceCache, InsertLookupEvict)
+{
+    TraceCache::Params small;
+    small.sizeBytes = 2 * 1024;     // 16 lines, 4-way => 4 sets
+    TraceCache tc(small);
+
+    auto mk = [](Addr pc, uint32_t outcomes) {
+        auto t = std::make_shared<Trace>();
+        t->id.startPc = pc;
+        t->id.outcomes = outcomes;
+        t->id.numBranches = 4;
+        return t;
+    };
+
+    auto a = mk(10, 1);
+    tc.insert(a);
+    EXPECT_EQ(tc.lookup(a->id), a);
+    EXPECT_EQ(tc.misses, 0u);
+
+    // Same start pc, different outcomes: distinct traces (path
+    // associativity through the identity tag).
+    auto b2 = mk(10, 2);
+    EXPECT_EQ(tc.lookup(b2->id), nullptr);
+    EXPECT_EQ(tc.misses, 1u);
+    tc.insert(b2);
+    EXPECT_EQ(tc.lookup(a->id), a);
+    EXPECT_EQ(tc.lookup(b2->id), b2);
+
+    // Re-inserting the same identity replaces in place.
+    auto a2 = mk(10, 1);
+    tc.insert(a2);
+    EXPECT_EQ(tc.lookup(a->id), a2);
+}
+
+} // namespace tproc

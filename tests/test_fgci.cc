@@ -1,0 +1,255 @@
+/**
+ * @file
+ * FGCI-algorithm tests: hand-built control-flow shapes with known
+ * answers, rejection rules, and a property sweep comparing the
+ * single-pass hardware scan against the exhaustive path-enumeration
+ * reference on randomly generated forward regions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "program/builder.hh"
+#include "program/cfg.hh"
+#include "trace/fgci.hh"
+
+namespace tproc
+{
+namespace
+{
+
+/** Simple if-then-else: branch at 0, else 1..1+e, then t.., join. */
+Program
+hammock(int then_len, int else_len)
+{
+    ProgramBuilder b("h");
+    auto then_lab = b.newLabel();
+    auto join = b.newLabel();
+    b.bne(1, 2, then_lab);
+    for (int i = 0; i < else_len; ++i)
+        b.addi(3, 3, 1);
+    b.jmp(join);
+    b.bind(then_lab);
+    for (int i = 0; i < then_len; ++i)
+        b.addi(4, 4, 1);
+    b.bind(join);
+    b.addi(5, 5, 1);
+    b.halt();
+    return b.finish();
+}
+
+} // namespace
+
+TEST(Fgci, SimpleHammock)
+{
+    Program p = hammock(3, 2);
+    FgciResult r = analyzeFgci(p, 0, 32);
+    ASSERT_TRUE(r.embeddable);
+    // Longest path: branch + else(2) + jmp = 4 vs branch + then(3) = 4.
+    EXPECT_EQ(r.regionSize, 4);
+    // Re-convergent point is the join (first instruction after then).
+    EXPECT_EQ(r.reconvPc, 7u);
+}
+
+TEST(Fgci, IfThenOnly)
+{
+    // if-then without else: bne over two instructions.
+    ProgramBuilder b("t");
+    auto skip = b.newLabel();
+    b.beq(1, 2, skip);
+    b.addi(3, 3, 1);
+    b.addi(3, 3, 1);
+    b.bind(skip);
+    b.halt();
+    Program p = b.finish();
+
+    FgciResult r = analyzeFgci(p, 0, 32);
+    ASSERT_TRUE(r.embeddable);
+    EXPECT_EQ(r.reconvPc, 3u);
+    EXPECT_EQ(r.regionSize, 3);     // branch + 2 fall-through instrs
+}
+
+TEST(Fgci, NestedHammock)
+{
+    // Outer branch whose then-part contains an inner hammock.
+    ProgramBuilder b("t");
+    auto outer_then = b.newLabel();
+    auto inner_then = b.newLabel();
+    auto inner_join = b.newLabel();
+    auto join = b.newLabel();
+    b.bne(1, 2, outer_then);    // 0
+    b.addi(3, 3, 1);            // 1
+    b.jmp(join);                // 2
+    b.bind(outer_then);
+    b.bne(1, 3, inner_then);    // 3
+    b.addi(4, 4, 1);            // 4
+    b.jmp(inner_join);          // 5
+    b.bind(inner_then);
+    b.addi(5, 5, 1);            // 6
+    b.addi(5, 5, 1);            // 7
+    b.bind(inner_join);
+    b.addi(6, 6, 1);            // 8
+    b.bind(join);
+    b.halt();                   // 9
+    Program p = b.finish();
+
+    FgciResult r = analyzeFgci(p, 0, 32);
+    ASSERT_TRUE(r.embeddable);
+    EXPECT_EQ(r.reconvPc, 9u);
+    // Longest path: 0,3,6,7,8 = 5 instructions before the join.
+    EXPECT_EQ(r.regionSize, 5);
+
+    // The inner branch is its own smaller region.
+    FgciResult inner = analyzeFgci(p, 3, 32);
+    ASSERT_TRUE(inner.embeddable);
+    EXPECT_EQ(inner.reconvPc, 8u);
+    EXPECT_EQ(inner.regionSize, 3);
+}
+
+TEST(Fgci, RejectsBackwardBranchInRegion)
+{
+    ProgramBuilder b("t");
+    auto target = b.newLabel();
+    auto top = b.newLabel();
+    b.bind(top);
+    b.bne(1, 2, target);
+    b.bne(3, 4, top);       // backward branch before re-convergence
+    b.bind(target);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_FALSE(analyzeFgci(p, 0, 32).embeddable);
+}
+
+TEST(Fgci, RejectsCallInRegion)
+{
+    ProgramBuilder b("t");
+    auto target = b.newLabel();
+    auto fn = b.newLabel();
+    b.bne(1, 2, target);
+    b.call(fn);
+    b.bind(target);
+    b.halt();
+    b.bind(fn);
+    b.ret();
+    Program p = b.finish();
+    EXPECT_FALSE(analyzeFgci(p, 0, 32).embeddable);
+}
+
+TEST(Fgci, RejectsIndirectInRegion)
+{
+    ProgramBuilder b("t");
+    auto target = b.newLabel();
+    b.bne(1, 2, target);
+    b.jr(3);
+    b.bind(target);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_FALSE(analyzeFgci(p, 0, 32).embeddable);
+}
+
+TEST(Fgci, RejectsRegionLongerThanTrace)
+{
+    Program p = hammock(40, 2);
+    EXPECT_FALSE(analyzeFgci(p, 0, 32).embeddable);
+    EXPECT_TRUE(analyzeFgci(p, 0, 64).embeddable);
+}
+
+TEST(Fgci, RejectsBackwardConditional)
+{
+    ProgramBuilder b("t");
+    auto top = b.newLabel();
+    b.bind(top);
+    b.addi(3, 3, 1);
+    b.bne(3, 4, top);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_FALSE(analyzeFgci(p, 1, 32).embeddable);
+}
+
+TEST(Fgci, EdgeArrayExhaustion)
+{
+    // A dense ladder of forward branches needs one pending edge per
+    // branch; the hardware's small associative array gives up.
+    ProgramBuilder b("t");
+    auto join = b.newLabel();
+    for (int i = 0; i < 12; ++i)
+        b.bne(1, 2, join);
+    b.addi(3, 3, 1);
+    b.bind(join);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_FALSE(analyzeFgci(p, 0, 32, 4).embeddable);
+    EXPECT_TRUE(analyzeFgci(p, 0, 32, 16).embeddable);
+}
+
+TEST(Fgci, ScanLatencyIsStaticExtent)
+{
+    Program p = hammock(3, 2);
+    FgciResult r = analyzeFgci(p, 0, 32);
+    // Single pass at 1 instruction/cycle over the static region body.
+    EXPECT_EQ(r.scannedInsts, static_cast<int>(r.reconvPc - 0));
+}
+
+/**
+ * Property sweep: generate random forward-branching regions and check
+ * the hardware scan agrees with the exhaustive reference whenever the
+ * hardware declares the region embeddable.
+ */
+class FgciRandom : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(FgciRandom, MatchesReference)
+{
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 60; ++iter) {
+        // Random structured region: sequence of nested/sequential
+        // hammocks with random block sizes.
+        ProgramBuilder b("r");
+        std::vector<ProgramBuilder::Label> joins;
+        auto emit_block = [&](int len) {
+            for (int i = 0; i < len; ++i)
+                b.addi(3, 3, 1);
+        };
+        auto outer_then = b.newLabel();
+        auto outer_join = b.newLabel();
+        b.bne(1, 2, outer_then);
+        emit_block(static_cast<int>(rng.below(4)));
+        // Optionally a nested hammock on the else path.
+        if (rng.chance(0.6)) {
+            auto t2 = b.newLabel();
+            auto j2 = b.newLabel();
+            b.bne(1, 3, t2);
+            emit_block(static_cast<int>(rng.below(3)));
+            b.jmp(j2);
+            b.bind(t2);
+            emit_block(static_cast<int>(rng.below(4)));
+            b.bind(j2);
+        }
+        b.jmp(outer_join);
+        b.bind(outer_then);
+        emit_block(static_cast<int>(1 + rng.below(5)));
+        if (rng.chance(0.4)) {
+            auto t3 = b.newLabel();
+            b.bne(1, 4, t3);
+            emit_block(static_cast<int>(rng.below(3)));
+            b.bind(t3);
+        }
+        b.bind(outer_join);
+        emit_block(2);
+        b.halt();
+        Program p = b.finish();
+
+        FgciResult hw = analyzeFgci(p, 0, 32);
+        auto ref = analyzeRegionReference(p, 0, 32);
+        ASSERT_TRUE(ref.has_value());
+        ASSERT_TRUE(hw.embeddable) << "iter " << iter;
+        ASSERT_TRUE(ref->embeddable) << "iter " << iter;
+        EXPECT_EQ(hw.reconvPc, ref->reconvPc) << "iter " << iter;
+        EXPECT_EQ(hw.regionSize, ref->regionSize) << "iter " << iter;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FgciRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 23, 47));
+
+} // namespace tproc

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Frontend unit tests: trace construction on cold caches, trace-cache
+ * reuse, fallthrough sequencing, indirect stalls and resolution,
+ * redirect semantics, and the repair builder's guarantees (prefix
+ * identity; FGCI boundary preservation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "frontend/frontend.hh"
+#include "program/builder.hh"
+
+namespace tproc
+{
+namespace
+{
+
+Program
+loopProgram()
+{
+    ProgramBuilder b("t");
+    b.li(3, 100);
+    auto top = b.newLabel();
+    b.bind(top);
+    b.addi(4, 4, 1);
+    b.addi(3, 3, -1);
+    b.bne(3, 0, top);
+    b.halt();
+    return b.finish();
+}
+
+/** Drive the frontend for n cycles, collecting dispatched traces. */
+std::vector<PendingTrace>
+drain(Frontend &fe, Cycle &now, size_t want, int max_cycles = 2000)
+{
+    std::vector<PendingTrace> out;
+    for (int i = 0; i < max_cycles && out.size() < want; ++i) {
+        fe.cycle(now);
+        if (fe.hasReady(now))
+            out.push_back(fe.pop());
+        ++now;
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Frontend, ColdFetchConstructsAndChainsFallthrough)
+{
+    Program p = loopProgram();
+    ProcessorConfig cfg = ProcessorConfig::forModel("base");
+    Frontend fe(p, cfg);
+
+    Cycle now = 0;
+    // Cold: the 2-bit counters predict the loop branch not-taken, so the
+    // very first trace runs into the halt and fetch stops there.
+    auto traces = drain(fe, now, 3);
+    ASSERT_EQ(traces.size(), 1u);
+    EXPECT_EQ(traces[0].trace->id.startPc, 0u);
+    EXPECT_FALSE(traces[0].tcacheHit);
+    EXPECT_EQ(traces[0].trace->end, TraceEnd::HALT);
+    EXPECT_GE(fe.constructions, 1u);
+
+    // After a recovery redirect (the branch was really taken), fetch
+    // resumes and chains fallthroughs consistently.
+    fe.redirect(PathHistory(), 1, invalidAddr, now);
+    auto more = drain(fe, now, 2);
+    ASSERT_GE(more.size(), 1u);
+    EXPECT_EQ(more[0].trace->id.startPc, 1u);
+    for (size_t i = 1; i < more.size(); ++i) {
+        if (more[i - 1].trace->fallthroughPc != invalidAddr) {
+            EXPECT_EQ(more[i].trace->id.startPc,
+                      more[i - 1].trace->fallthroughPc);
+        }
+    }
+}
+
+TEST(Frontend, RedirectFlushesAndResumes)
+{
+    Program p = loopProgram();
+    ProcessorConfig cfg = ProcessorConfig::forModel("base");
+    Frontend fe(p, cfg);
+
+    Cycle now = 0;
+    drain(fe, now, 2);
+
+    PathHistory h;
+    fe.redirect(h, 1 /* loop top */, invalidAddr, now + 5);
+    EXPECT_FALSE(fe.hasReady(now));
+    auto traces = drain(fe, now, 1);
+    ASSERT_EQ(traces.size(), 1u);
+    EXPECT_EQ(traces[0].trace->id.startPc, 1u);
+    // The redirect respected resume_at.
+    EXPECT_GE(traces[0].readyAt, 5u);
+}
+
+TEST(Frontend, IndirectStallAndResolution)
+{
+    ProgramBuilder b("t");
+    b.addi(3, 3, 1);
+    b.jr(3);            // target unknown to a cold frontend
+    b.addi(4, 4, 1);    // pc 2
+    b.halt();
+    Program p = b.finish();
+
+    ProcessorConfig cfg = ProcessorConfig::forModel("base");
+    Frontend fe(p, cfg);
+    Cycle now = 0;
+    auto traces = drain(fe, now, 2, 50);
+    // Only the first trace can be fetched; fetch must stall on the jr.
+    ASSERT_EQ(traces.size(), 1u);
+    EXPECT_TRUE(traces[0].trace->endsInIndirect());
+    EXPECT_TRUE(fe.waitingIndirect());
+
+    fe.indirectResolved(2);
+    auto more = drain(fe, now, 1, 50);
+    ASSERT_EQ(more.size(), 1u);
+    EXPECT_EQ(more[0].trace->id.startPc, 2u);
+}
+
+TEST(Frontend, TraceCacheHitOnRevisit)
+{
+    Program p = loopProgram();
+    ProcessorConfig cfg = ProcessorConfig::forModel("base");
+    Frontend fe(p, cfg);
+    Cycle now = 0;
+
+    // First pass constructs; training the predictor takes retires.
+    auto first = drain(fe, now, 1);
+    ASSERT_EQ(first.size(), 1u);
+    TraceId id = first[0].trace->id;
+    for (int i = 0; i < 4; ++i)
+        fe.trainRetire(id);
+
+    // Redirect back to the start: now the predictor predicts the same
+    // trace and the trace cache holds it.
+    fe.redirect(PathHistory(), 0, invalidAddr, now);
+    auto again = drain(fe, now, 1);
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_EQ(again[0].trace->id, id);
+}
+
+TEST(Frontend, RepairPrefixIdentityAndCorrection)
+{
+    Program p = loopProgram();
+    ProcessorConfig cfg = ProcessorConfig::forModel("base");
+    Frontend fe(p, cfg);
+    Cycle now = 0;
+    auto traces = drain(fe, now, 1);
+    ASSERT_EQ(traces.size(), 1u);
+    const Trace &orig = *traces[0].trace;
+
+    // Find the first conditional branch in the trace.
+    int branch_slot = -1;
+    for (size_t i = 0; i < orig.slots.size(); ++i) {
+        if (orig.slots[i].isCondBr) {
+            branch_slot = static_cast<int>(i);
+            break;
+        }
+    }
+    ASSERT_GE(branch_slot, 0);
+    bool corrected = !orig.slots[branch_slot].taken;
+
+    auto rep = fe.buildRepair(now, orig, branch_slot, corrected, false);
+    ASSERT_GE(rep.trace->slots.size(), rep.prefixLen);
+    // Prefix instructions identical; the repaired branch flips.
+    for (size_t i = 0; i + 1 < rep.prefixLen; ++i) {
+        EXPECT_EQ(rep.trace->slots[i].pc, orig.slots[i].pc);
+        EXPECT_EQ(rep.trace->slots[i].taken, orig.slots[i].taken);
+    }
+    EXPECT_EQ(rep.trace->slots[branch_slot].taken, corrected);
+    EXPECT_GT(rep.readyAt, now);
+}
+
+TEST(Frontend, FgciRepairPreservesBoundary)
+{
+    // A padded hammock inside a longer trace: repairing either direction
+    // must keep the trace end fixed.
+    ProgramBuilder b("t");
+    for (int i = 0; i < 4; ++i)
+        b.addi(3, 3, 1);
+    auto then_lab = b.newLabel();
+    auto join = b.newLabel();
+    b.bne(1, 2, then_lab);
+    b.addi(4, 4, 1);
+    b.addi(4, 4, 1);
+    b.jmp(join);
+    b.bind(then_lab);
+    b.addi(5, 5, 1);
+    b.bind(join);
+    for (int i = 0; i < 40; ++i)
+        b.addi(6, 6, 1);
+    b.halt();
+    Program p = b.finish();
+
+    ProcessorConfig cfg = ProcessorConfig::forModel("FG");
+    Frontend fe(p, cfg);
+    Cycle now = 0;
+    auto traces = drain(fe, now, 1);
+    ASSERT_EQ(traces.size(), 1u);
+    const Trace &orig = *traces[0].trace;
+
+    int branch_slot = -1;
+    for (size_t i = 0; i < orig.slots.size(); ++i) {
+        if (orig.slots[i].isCondBr && orig.slots[i].regionStart) {
+            branch_slot = static_cast<int>(i);
+            break;
+        }
+    }
+    ASSERT_GE(branch_slot, 0);
+
+    auto rep = fe.buildRepair(now, orig, branch_slot,
+                              !orig.slots[branch_slot].taken, true);
+    EXPECT_EQ(rep.trace->fallthroughPc, orig.fallthroughPc);
+    EXPECT_EQ(rep.trace->end, orig.end);
+    EXPECT_EQ(rep.trace->accruedLen, orig.accruedLen);
+}
+
+} // namespace tproc

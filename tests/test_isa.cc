@@ -1,0 +1,119 @@
+/** @file ISA-layer unit tests: predicates, ALU semantics, disassembly. */
+
+#include <gtest/gtest.h>
+
+#include "emulator/emulator.hh"
+#include "isa/disasm.hh"
+#include "isa/instruction.hh"
+
+namespace tproc
+{
+
+TEST(Isa, BranchPredicates)
+{
+    EXPECT_TRUE(isCondBranch(Opcode::BEQ));
+    EXPECT_TRUE(isCondBranch(Opcode::BGE));
+    EXPECT_FALSE(isCondBranch(Opcode::JMP));
+    EXPECT_TRUE(isIndirect(Opcode::JR));
+    EXPECT_TRUE(isIndirect(Opcode::RET));
+    EXPECT_TRUE(isIndirect(Opcode::CALLR));
+    EXPECT_FALSE(isIndirect(Opcode::CALL));
+    EXPECT_TRUE(isCall(Opcode::CALL));
+    EXPECT_TRUE(isCall(Opcode::CALLR));
+    EXPECT_TRUE(isReturn(Opcode::RET));
+    EXPECT_FALSE(isReturn(Opcode::JR));
+    EXPECT_TRUE(isControl(Opcode::JMP));
+    EXPECT_FALSE(isControl(Opcode::ADD));
+}
+
+TEST(Isa, ForwardBackwardBranches)
+{
+    Instruction fwd{Opcode::BNE, 0, 1, 2, 100};
+    Instruction bwd{Opcode::BNE, 0, 1, 2, 10};
+    EXPECT_TRUE(isForwardBranch(fwd, 50));
+    EXPECT_FALSE(isBackwardBranch(fwd, 50));
+    EXPECT_TRUE(isBackwardBranch(bwd, 50));
+    // A branch to itself counts as backward (loop).
+    Instruction self{Opcode::BEQ, 0, 1, 2, 50};
+    EXPECT_TRUE(isBackwardBranch(self, 50));
+}
+
+TEST(Isa, RegisterUsage)
+{
+    Instruction add{Opcode::ADD, 3, 1, 2, 0};
+    EXPECT_TRUE(writesReg(add));
+    EXPECT_TRUE(readsRs1(add));
+    EXPECT_TRUE(readsRs2(add));
+
+    Instruction add_zero{Opcode::ADD, regZero, 1, 2, 0};
+    EXPECT_FALSE(writesReg(add_zero));
+
+    Instruction ld{Opcode::LD, 3, 1, 0, 8};
+    EXPECT_TRUE(writesReg(ld));
+    EXPECT_TRUE(readsRs1(ld));
+    EXPECT_FALSE(readsRs2(ld));
+
+    Instruction st{Opcode::ST, 0, 1, 2, 8};
+    EXPECT_FALSE(writesReg(st));
+    EXPECT_TRUE(readsRs2(st));
+
+    Instruction lui{Opcode::LUI, 3, 0, 0, 7};
+    EXPECT_FALSE(readsRs1(lui));
+
+    Instruction call{Opcode::CALL, regRa, 0, 0, 7};
+    EXPECT_TRUE(writesReg(call));
+    EXPECT_FALSE(readsRs1(call));
+
+    Instruction ret{Opcode::RET, 0, regRa, 0, 0};
+    EXPECT_FALSE(writesReg(ret));
+    EXPECT_TRUE(readsRs1(ret));
+}
+
+TEST(Isa, ExecLatencies)
+{
+    EXPECT_EQ(execLatency(Opcode::ADD), 1);
+    EXPECT_EQ(execLatency(Opcode::MUL), 5);
+    EXPECT_EQ(execLatency(Opcode::DIVX), 20);
+    EXPECT_EQ(execLatency(Opcode::LD), 1);  // agen only
+}
+
+TEST(Isa, AluSemantics)
+{
+    EXPECT_EQ(evalAlu(Opcode::ADD, 2, 3, 0), 5);
+    EXPECT_EQ(evalAlu(Opcode::SUB, 2, 3, 0), -1);
+    EXPECT_EQ(evalAlu(Opcode::MUL, -4, 3, 0), -12);
+    EXPECT_EQ(evalAlu(Opcode::DIVX, 7, 2, 0), 3);
+    EXPECT_EQ(evalAlu(Opcode::DIVX, 7, 0, 0), 0);   // div-by-zero => 0
+    EXPECT_EQ(evalAlu(Opcode::AND, 0b1100, 0b1010, 0), 0b1000);
+    EXPECT_EQ(evalAlu(Opcode::SLL, 1, 5, 0), 32);
+    EXPECT_EQ(evalAlu(Opcode::SRA, -8, 1, 0), -4);
+    EXPECT_EQ(evalAlu(Opcode::SRL, -1, 63, 0), 1);
+    EXPECT_EQ(evalAlu(Opcode::SLT, -1, 0, 0), 1);
+    EXPECT_EQ(evalAlu(Opcode::SLTU, -1, 0, 0), 0);  // unsigned compare
+    EXPECT_EQ(evalAlu(Opcode::ADDI, 2, 0, 40), 42);
+    EXPECT_EQ(evalAlu(Opcode::LUI, 99, 0, 7), 7);
+    EXPECT_EQ(evalAlu(Opcode::SLLI, 3, 0, 2), 12);
+}
+
+TEST(Isa, BranchSemantics)
+{
+    EXPECT_TRUE(evalBranch(Opcode::BEQ, 4, 4));
+    EXPECT_FALSE(evalBranch(Opcode::BEQ, 4, 5));
+    EXPECT_TRUE(evalBranch(Opcode::BNE, 4, 5));
+    EXPECT_TRUE(evalBranch(Opcode::BLT, -1, 0));
+    EXPECT_FALSE(evalBranch(Opcode::BLT, 0, 0));
+    EXPECT_TRUE(evalBranch(Opcode::BGE, 0, 0));
+}
+
+TEST(Isa, Disassembly)
+{
+    EXPECT_EQ(disassemble({Opcode::ADD, 3, 1, 2, 0}), "add r3, r1, r2");
+    EXPECT_EQ(disassemble({Opcode::ADDI, 3, 1, 0, -5}), "addi r3, r1, -5");
+    EXPECT_EQ(disassemble({Opcode::LD, 4, 2, 0, 8}), "ld r4, 8(r2)");
+    EXPECT_EQ(disassemble({Opcode::ST, 0, 2, 4, 8}), "st r4, 8(r2)");
+    EXPECT_EQ(disassemble({Opcode::BNE, 0, 1, 2, 99}), "bne r1, r2, 99");
+    EXPECT_EQ(disassemble({Opcode::RET, 0, 1, 0, 0}), "ret r1");
+    EXPECT_EQ(disassemble({Opcode::HALT, 0, 0, 0, 0}), "halt");
+}
+
+} // namespace tproc

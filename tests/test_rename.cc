@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Renaming tests: physical register file, trace renaming (intra-trace
+ * dependences vs live-ins/live-outs), repair renaming (prefix register
+ * reuse), and the re-dispatch pass (live-ins re-pointed, live-outs
+ * stable).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pe/processing_element.hh"
+#include "program/builder.hh"
+#include "trace/selection.hh"
+
+namespace tproc
+{
+namespace
+{
+
+std::shared_ptr<const Trace>
+selectFrom(const Program &p, Addr pc, bool taken, Bit *bit = nullptr,
+           bool fg = false)
+{
+    SelectionParams params;
+    params.fg = fg;
+    TraceSelector sel(p, params, bit);
+    auto r = sel.select(pc, [taken](int, Addr, const Instruction &, bool) {
+        return taken;
+    });
+    return std::make_shared<Trace>(std::move(r.trace));
+}
+
+} // namespace
+
+TEST(PhysRegFile, AllocFreeWrite)
+{
+    PhysRegFile prf(256);
+    size_t before = prf.freeCount();
+    PhysReg r = prf.alloc();
+    EXPECT_EQ(prf.freeCount(), before - 1);
+    EXPECT_FALSE(prf.hasValue(r));
+    prf.write(r, 42, 10);
+    EXPECT_TRUE(prf.hasValue(r));
+    EXPECT_FALSE(prf.ready(r, 9));
+    EXPECT_TRUE(prf.ready(r, 10));
+    EXPECT_EQ(prf.value(r), 42);
+    prf.free(r);
+    EXPECT_EQ(prf.freeCount(), before);
+
+    // The zero register always reads zero and is never freed.
+    EXPECT_TRUE(prf.ready(PhysRegFile::zeroReg, 0));
+    EXPECT_EQ(prf.value(PhysRegFile::zeroReg), 0);
+    prf.free(PhysRegFile::zeroReg);     // no-op
+    EXPECT_TRUE(prf.ready(PhysRegFile::zeroReg, 0));
+}
+
+TEST(Rename, IntraTraceDepsAndLiveInOut)
+{
+    // r3 = r4 + r5 ; r6 = r3 + r4 ; r3 = r6 + r6
+    ProgramBuilder b("t");
+    b.add(3, 4, 5);
+    b.add(6, 3, 4);
+    b.add(3, 6, 6);
+    b.halt();
+    Program p = b.finish();
+    auto tr = selectFrom(p, 0, false);
+
+    PhysRegFile prf(256);
+    RenameMap map = PhysRegFile::initialMap();
+    auto t = makeInFlightTrace(1, tr, map, prf);
+
+    // Slot 0: both sources are live-ins (initial map -> zero reg).
+    EXPECT_EQ(t->slots[0].dep1, -1);
+    EXPECT_EQ(t->slots[0].src1, PhysRegFile::zeroReg);
+    // Slot 1: rs1 = r3 from slot 0, rs2 = r4 live-in.
+    EXPECT_EQ(t->slots[1].dep1, 0);
+    EXPECT_EQ(t->slots[1].dep2, -1);
+    // Slot 2: reads r6 from slot 1 twice.
+    EXPECT_EQ(t->slots[2].dep1, 1);
+    EXPECT_EQ(t->slots[2].dep2, 1);
+
+    // Live-outs: r3 (last writer slot 2) and r6 (slot 1). Slot 0's write
+    // of r3 is intra-trace only (no global register).
+    EXPECT_EQ(t->slots[0].dest, invalidPhysReg);
+    EXPECT_NE(t->slots[1].dest, invalidPhysReg);
+    EXPECT_NE(t->slots[2].dest, invalidPhysReg);
+    EXPECT_EQ(t->liveOuts.size(), 2u);
+    EXPECT_EQ(map[3], t->slots[2].dest);
+    EXPECT_EQ(map[6], t->slots[1].dest);
+}
+
+TEST(Rename, RepairKeepsPrefixRegistersAndFreesSuffix)
+{
+    // Trace with a hammock: prefix (before branch) writes r3; the two
+    // arms write different registers.
+    ProgramBuilder b("t");
+    auto then_lab = b.newLabel();
+    auto join = b.newLabel();
+    b.addi(3, 0, 1);        // slot 0 (prefix)
+    b.bne(1, 2, then_lab);  // slot 1 (the branch)
+    b.addi(4, 0, 2);        // not-taken arm writes r4
+    b.jmp(join);
+    b.bind(then_lab);
+    b.addi(5, 0, 3);        // taken arm writes r5
+    b.bind(join);
+    b.addi(6, 0, 4);
+    b.halt();
+    Program p = b.finish();
+
+    auto orig = selectFrom(p, 0, false);    // not-taken path
+    PhysRegFile prf(256);
+    RenameMap map = PhysRegFile::initialMap();
+    auto t = makeInFlightTrace(1, orig, map, prf);
+
+    PhysReg r3_phys = t->slots[0].dest;
+    ASSERT_NE(r3_phys, invalidPhysReg);
+    PhysReg r4_phys = t->slots[2].dest;
+    ASSERT_NE(r4_phys, invalidPhysReg);
+
+    // Pretend the prefix executed.
+    t->slots[0].issued = t->slots[0].completed = true;
+    t->slots[0].value = 1;
+
+    // Repair to the taken path.
+    auto repaired = selectFrom(p, 0, true);
+    RenameMap map2 = t->mapBefore;
+    std::vector<PhysReg> deferred;
+    repairInFlightTrace(*t, repaired, 2, map2, prf, 0, deferred);
+
+    // Prefix keeps its physical register and its dynamic state.
+    EXPECT_EQ(t->slots[0].dest, r3_phys);
+    EXPECT_TRUE(t->slots[0].completed);
+    // The old suffix live-outs (r4, and r6 whose producing slot index
+    // shifted) are deferred-freed.
+    EXPECT_EQ(deferred.size(), 2u);
+    EXPECT_TRUE(deferred[0] == r4_phys || deferred[1] == r4_phys);
+    // The new arm writes r5 through a fresh register installed in map2.
+    EXPECT_EQ(map2[5], t->slots[2].dest);
+    EXPECT_EQ(map2[3], r3_phys);
+    // Suffix slots are reset.
+    EXPECT_FALSE(t->slots[2].issued);
+}
+
+TEST(Rename, RedispatchRepointsLiveInsKeepsLiveOuts)
+{
+    ProgramBuilder b("t");
+    b.add(3, 4, 5);     // live-ins r4, r5; live-out r3
+    b.halt();
+    Program p = b.finish();
+    auto tr = selectFrom(p, 0, false);
+
+    PhysRegFile prf(256);
+    RenameMap map = PhysRegFile::initialMap();
+    auto t = makeInFlightTrace(1, tr, map, prf);
+    PhysReg out = t->slots[0].dest;
+    PhysReg old_src = t->slots[0].src1;
+
+    // A recovery gives r4 a new producer.
+    RenameMap map2 = PhysRegFile::initialMap();
+    PhysReg new_r4 = prf.alloc();
+    map2[4] = new_r4;
+
+    auto changed = redispatchInFlightTrace(*t, map2);
+    ASSERT_EQ(changed.size(), 1u);
+    EXPECT_EQ(changed[0], 0);
+    EXPECT_EQ(t->slots[0].src1, new_r4);
+    EXPECT_NE(t->slots[0].src1, old_src);
+    // Live-out mapping unchanged and re-installed.
+    EXPECT_EQ(t->slots[0].dest, out);
+    EXPECT_EQ(map2[3], out);
+
+    // Re-dispatch with the same map: nothing changes.
+    auto changed2 = redispatchInFlightTrace(*t, map2);
+    EXPECT_TRUE(changed2.empty());
+}
+
+} // namespace tproc
