@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -20,6 +21,7 @@
 
 #include "common/stats.hh"
 #include "core/runner.hh"
+#include "harness/sweep.hh"
 #include "workloads/workloads.hh"
 
 namespace tproc::bench
@@ -53,24 +55,67 @@ benchVerify()
     return true;
 }
 
-/** Run one workload on one named model. */
-inline ProcessorStats
-runOne(const Workload &w, const std::string &model)
+/** Worker threads for the sweep engine (0 = hardware concurrency).
+ *  Override with TPROC_BENCH_THREADS; TPROC_BENCH_THREADS=1 restores the
+ *  old serial behaviour bit for bit. */
+inline unsigned
+benchThreads()
 {
-    return runModel(w.program, model, benchInsts(), benchVerify());
+    if (const char *e = std::getenv("TPROC_BENCH_THREADS"))
+        return static_cast<unsigned>(std::strtoul(e, nullptr, 10));
+    return 0;
 }
 
-/** Run all workloads on a set of models; result[workload][model]. */
+/** A sweep engine configured from the TPROC_BENCH_* environment. */
+inline harness::SweepEngine
+makeEngine()
+{
+    harness::SweepEngine::Options opts;
+    opts.threads = benchThreads();
+    opts.progress = true;
+    return harness::SweepEngine(opts);
+}
+
+/**
+ * Run a batch of points through the engine; a failed point aborts the
+ * driver (the tables need every cell). If TPROC_SWEEP_JSON names a file,
+ * the full per-point results are written there for CI to archive —
+ * including failed points, so the artifact survives for debugging.
+ */
+inline std::vector<harness::SweepResult>
+runSweep(const std::vector<harness::SweepPoint> &points)
+{
+    auto engine = makeEngine();
+    std::cerr << "  sweep: " << points.size() << " points across "
+              << engine.effectiveThreads(points.size()) << " threads\n";
+    auto results = engine.run(points);
+    if (const char *path = std::getenv("TPROC_SWEEP_JSON")) {
+        std::ofstream out(path);
+        harness::writeResultsJson(out, results);
+        std::cerr << "  wrote sweep results to " << path << '\n';
+    }
+    for (const auto &r : results) {
+        if (!r.ok) {
+            std::cerr << "bench: point " << r.point.label()
+                      << " failed: " << r.error << '\n';
+            std::exit(1);
+        }
+    }
+    return results;
+}
+
+/** Run all workloads on a set of models; result[workload][model].
+ *  Points fan out across benchThreads() workers. */
 inline std::map<std::string, std::map<std::string, ProcessorStats>>
 runMatrix(const std::vector<std::string> &models)
 {
+    auto points = harness::crossPoints(workloadNames(), models,
+                                       benchSeed(), benchInsts(),
+                                       benchVerify());
+    auto results = runSweep(points);
     std::map<std::string, std::map<std::string, ProcessorStats>> out;
-    for (const auto &w : makeAllWorkloads(benchSeed())) {
-        for (const auto &m : models) {
-            std::cerr << "  running " << w.name << " / " << m << "...\n";
-            out[w.name][m] = runOne(w, m);
-        }
-    }
+    for (const auto &r : results)
+        out[r.point.workload][r.point.model] = r.stats;
     return out;
 }
 

@@ -9,6 +9,10 @@
  * (which is fine-grain dominated) and the low-misprediction benchmarks
  * (m88ksim, vortex); FG is strongest on compress/jpeg; loop-heavy li is
  * covered by MLB-RET; combining FG with MLB-RET is the best average.
+ *
+ * The 40-point (workload x model) matrix runs through the parallel
+ * harness engine (TPROC_BENCH_THREADS controls the fan-out;
+ * TPROC_SWEEP_JSON archives per-point stats).
  */
 
 #include <iostream>

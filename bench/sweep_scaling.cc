@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Sweep-engine scaling micro-benchmark: run the same point batch
+ * serially (1 thread) and in parallel (TPROC_BENCH_THREADS or hardware
+ * concurrency), check the results are bit-identical, and record
+ * wall-clock, throughput, and speedup to a JSON artifact for CI to
+ * archive (TPROC_SWEEP_JSON, default sweep_scaling.json).
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "bench/common.hh"
+
+using namespace tproc;
+
+namespace
+{
+
+double
+timedRun(harness::SweepEngine &engine,
+         const std::vector<harness::SweepPoint> &points,
+         std::vector<harness::SweepResult> &results)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    results = engine.run(points);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeaderNote("SWEEP SCALING: serial vs parallel engine");
+
+    auto points = harness::crossPoints(
+        workloadNames(), {"base", "FG+MLB-RET"}, bench::benchSeed(),
+        bench::benchInsts(), bench::benchVerify());
+
+    // TPROC_BENCH_REPEAT tiles the batch: more points amortize thread
+    // startup and scheduler noise when the per-point runtime is small
+    // (CI keeps TPROC_BENCH_INSTS low to stay quick).
+    unsigned repeat = 1;
+    if (const char *e = std::getenv("TPROC_BENCH_REPEAT"))
+        repeat = static_cast<unsigned>(std::strtoul(e, nullptr, 10));
+    const size_t base_count = points.size();
+    for (unsigned r = 1; r < repeat; ++r)
+        for (size_t i = 0; i < base_count; ++i)
+            points.push_back(points[i]);
+
+    harness::SweepEngine::Options serial_opts;
+    serial_opts.threads = 1;
+    harness::SweepEngine serial(serial_opts);
+
+    harness::SweepEngine::Options par_opts;
+    par_opts.threads = bench::benchThreads();
+    harness::SweepEngine parallel(par_opts);
+    const unsigned nthreads = parallel.effectiveThreads(points.size());
+
+    std::cerr << "  " << points.size() << " points, serial pass...\n";
+    std::vector<harness::SweepResult> serial_results;
+    double serial_s = timedRun(serial, points, serial_results);
+
+    std::cerr << "  parallel pass (" << nthreads << " threads)...\n";
+    std::vector<harness::SweepResult> par_results;
+    double par_s = timedRun(parallel, points, par_results);
+
+    // The engine's determinism contract: identical per-point stats no
+    // matter how many workers ran the batch.
+    bool identical = serial_results.size() == par_results.size();
+    int failed = 0;
+    uint64_t total_insts = 0;
+    for (size_t i = 0; i < serial_results.size(); ++i) {
+        const auto &a = serial_results[i];
+        if (!a.ok)
+            ++failed;
+        total_insts += a.stats.retiredInsts;
+        if (i < par_results.size()) {
+            const auto &b = par_results[i];
+            if (a.ok != b.ok || harness::statsToDict(a.stats) !=
+                                    harness::statsToDict(b.stats))
+                identical = false;
+        }
+    }
+
+    double speedup = par_s > 0.0 ? serial_s / par_s : 0.0;
+    TextTable t;
+    t.header({"pass", "threads", "wall (s)", "Minsts/s"});
+    t.row({"serial", "1", fmtDouble(serial_s, 2),
+           fmtDouble(total_insts / serial_s / 1e6, 2)});
+    t.row({"parallel", std::to_string(nthreads), fmtDouble(par_s, 2),
+           fmtDouble(total_insts / par_s / 1e6, 2)});
+    t.print(std::cout);
+    std::cout << "\nspeedup " << fmtDouble(speedup, 2) << "x, results "
+              << (identical ? "bit-identical" : "DIVERGED") << ", "
+              << failed << " failed points\n";
+
+    const char *path = std::getenv("TPROC_SWEEP_JSON");
+    if (!path)
+        path = "sweep_scaling.json";
+    std::ofstream out(path);
+    out << "{\n"
+        << "  \"points\": " << points.size() << ",\n"
+        << "  \"insts_per_point\": " << bench::benchInsts() << ",\n"
+        << "  \"total_retired_insts\": " << total_insts << ",\n"
+        << "  \"serial_seconds\": " << jsonNumber(serial_s) << ",\n"
+        << "  \"parallel_seconds\": " << jsonNumber(par_s) << ",\n"
+        << "  \"parallel_threads\": " << nthreads << ",\n"
+        << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "  \"speedup\": " << jsonNumber(speedup) << ",\n"
+        << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
+        << "  \"failed_points\": " << failed << ",\n"
+        << "  \"results\": ";
+    harness::writeResultsJson(out, par_results);
+    out << "}\n";
+    std::cerr << "  wrote " << path << '\n';
+
+    // Divergence or failures make the artifact (and exit status) red.
+    return identical ? (failed ? 1 : 0) : 2;
+}

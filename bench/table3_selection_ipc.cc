@@ -6,6 +6,10 @@
  * baseline performance slightly (shorter traces worsen trace prediction
  * and PE utilization), which is the cost control independence must
  * overcome.
+ *
+ * The 32-point (workload x selection-variant) matrix runs through the
+ * parallel harness engine (TPROC_BENCH_THREADS controls the fan-out;
+ * TPROC_SWEEP_JSON archives per-point stats).
  */
 
 #include <iostream>

@@ -97,9 +97,11 @@ Arb::storeUndo(TraceUid uid, int slot)
     WATCH(addr, "storeUndo uid=%llu slot=%d", (unsigned long long)uid, slot);
 
     auto &vers = stores[addr];
-    std::erase_if(vers, [&](const auto &v) {
-        return v.uid == uid && v.slot == slot;
-    });
+    vers.erase(std::remove_if(vers.begin(), vers.end(),
+                              [&](const auto &v) {
+                                  return v.uid == uid && v.slot == slot;
+                              }),
+               vers.end());
     if (vers.empty())
         stores.erase(addr);
 
@@ -206,9 +208,11 @@ Arb::loadRemove(TraceUid uid, int slot)
     loadIndex.erase(idx);
 
     auto &ls = loads[addr];
-    std::erase_if(ls, [&](const auto &le) {
-        return le.uid == uid && le.slot == slot;
-    });
+    ls.erase(std::remove_if(ls.begin(), ls.end(),
+                            [&](const auto &le) {
+                                return le.uid == uid && le.slot == slot;
+                            }),
+             ls.end());
     if (ls.empty())
         loads.erase(addr);
 }

@@ -34,7 +34,11 @@ struct SeqTag
     int slot = -1;
 
     bool valid() const { return uid != invalidTraceUid; }
-    bool operator==(const SeqTag &o) const = default;
+    bool
+    operator==(const SeqTag &o) const
+    {
+        return uid == o.uid && slot == o.slot;
+    }
 };
 
 class Arb

@@ -10,6 +10,8 @@ namespace tproc
 namespace
 {
 
+thread_local int captureDepth = 0;
+
 void
 vreport(const char *prefix, const char *fmt, va_list ap)
 {
@@ -18,14 +20,46 @@ vreport(const char *prefix, const char *fmt, va_list ap)
     std::fprintf(stderr, "\n");
 }
 
+std::string
+vformat(const char *prefix, const char *file, int line, const char *fmt,
+        va_list ap)
+{
+    char head[256];
+    std::snprintf(head, sizeof(head), "%s: %s:%d: ", prefix, file, line);
+    char body[1024];
+    std::vsnprintf(body, sizeof(body), fmt, ap);
+    return std::string(head) + body;
+}
+
 } // anonymous namespace
+
+ScopedErrorCapture::ScopedErrorCapture()
+{
+    ++captureDepth;
+}
+
+ScopedErrorCapture::~ScopedErrorCapture()
+{
+    --captureDepth;
+}
+
+bool
+ScopedErrorCapture::active()
+{
+    return captureDepth > 0;
+}
 
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: %s:%d: ", file, line);
     va_list ap;
     va_start(ap, fmt);
+    if (captureDepth > 0) {
+        std::string msg = vformat("panic", file, line, fmt, ap);
+        va_end(ap);
+        throw SimError(msg);
+    }
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
     std::vfprintf(stderr, fmt, ap);
     va_end(ap);
     std::fprintf(stderr, "\n");
@@ -35,9 +69,14 @@ panicImpl(const char *file, int line, const char *fmt, ...)
 void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
     va_list ap;
     va_start(ap, fmt);
+    if (captureDepth > 0) {
+        std::string msg = vformat("fatal", file, line, fmt, ap);
+        va_end(ap);
+        throw SimError(msg);
+    }
+    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
     std::vfprintf(stderr, fmt, ap);
     va_end(ap);
     std::fprintf(stderr, "\n");

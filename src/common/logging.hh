@@ -8,10 +8,38 @@
 #define TPROC_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace tproc
 {
+
+/** What panic()/fatal() throw while a ScopedErrorCapture is active. */
+struct SimError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * While an instance is alive on a thread, panic() and fatal() on that
+ * thread throw SimError instead of terminating the process. The sweep
+ * harness wraps each simulation point in one so a bad point is an
+ * isolated, reportable failure rather than a lost batch (microreboot-
+ * style fault containment). Nests safely; capture ends when the
+ * outermost instance dies.
+ */
+class ScopedErrorCapture
+{
+  public:
+    ScopedErrorCapture();
+    ~ScopedErrorCapture();
+
+    ScopedErrorCapture(const ScopedErrorCapture &) = delete;
+    ScopedErrorCapture &operator=(const ScopedErrorCapture &) = delete;
+
+    /** True if a capture is active on the calling thread. */
+    static bool active();
+};
 
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));

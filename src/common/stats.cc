@@ -33,6 +33,127 @@ StatGroup::dump(std::ostream &os) const
 }
 
 void
+StatGroup::snapshot(StatDict &into) const
+{
+    for (const auto &e : entries) {
+        double v = e.u64 ? static_cast<double>(*e.u64) : *e.f64;
+        into.set(name + '.' + e.name, v);
+    }
+}
+
+void
+StatDict::set(const std::string &name, double value)
+{
+    auto it = index.find(name);
+    if (it != index.end()) {
+        order[it->second].value = value;
+        return;
+    }
+    index.emplace(name, order.size());
+    order.push_back({name, value});
+}
+
+void
+StatDict::inc(const std::string &name, double delta)
+{
+    auto it = index.find(name);
+    if (it != index.end()) {
+        order[it->second].value += delta;
+        return;
+    }
+    index.emplace(name, order.size());
+    order.push_back({name, delta});
+}
+
+double
+StatDict::get(const std::string &name) const
+{
+    auto it = index.find(name);
+    return it == index.end() ? 0.0 : order[it->second].value;
+}
+
+bool
+StatDict::has(const std::string &name) const
+{
+    return index.count(name) != 0;
+}
+
+void
+StatDict::merge(const StatDict &other)
+{
+    for (const auto &s : other.order)
+        inc(s.name, s.value);
+}
+
+void
+StatDict::writeJson(std::ostream &os, int indent) const
+{
+    const std::string pad(indent, ' ');
+    os << "{";
+    for (size_t i = 0; i < order.size(); ++i) {
+        os << (i ? "," : "") << '\n' << pad << "  \""
+           << jsonEscape(order[i].name) << "\": "
+           << jsonNumber(order[i].value);
+    }
+    if (!order.empty())
+        os << '\n' << pad;
+    os << "}";
+}
+
+bool
+StatDict::operator==(const StatDict &o) const
+{
+    if (order.size() != o.order.size())
+        return false;
+    for (size_t i = 0; i < order.size(); ++i) {
+        if (order[i].name != o.order[i].name ||
+            order[i].value != o.order[i].value) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    // Integer-valued doubles (the common case: counters) print without a
+    // fraction; everything else keeps full round-trip precision. Range
+    // check before the cast: int64 conversion of NaN or out-of-range
+    // values is undefined.
+    if (v >= -9.0e15 && v <= 9.0e15 && v == static_cast<int64_t>(v))
+        return std::to_string(static_cast<int64_t>(v));
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
 TextTable::header(std::vector<std::string> cells)
 {
     rows.insert(rows.begin(), std::move(cells));

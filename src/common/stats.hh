@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace tproc
@@ -21,6 +22,54 @@ struct Stat
     std::string name;
     double value = 0.0;
 };
+
+/**
+ * An insertion-ordered dictionary of named scalars: the mergeable,
+ * serializable stats layer. Simulation components report into (or are
+ * snapshotted into) a StatDict; dicts from independent runs merge by
+ * summing, and any dict exports as a JSON object. All counters in this
+ * codebase are integer-valued, so double holds them exactly (< 2^53) and
+ * equality comparisons are well defined.
+ */
+class StatDict
+{
+  public:
+    /** Set (or overwrite) a value. */
+    void set(const std::string &name, double value);
+
+    /** Add to a value, creating it at zero first if absent. */
+    void inc(const std::string &name, double delta = 1.0);
+
+    /** Value by name; 0.0 if absent. */
+    double get(const std::string &name) const;
+
+    bool has(const std::string &name) const;
+
+    /** Sum other into this (union of keys; other's new keys append). */
+    void merge(const StatDict &other);
+
+    /** Serialize as a JSON object; indent is the base indentation. */
+    void writeJson(std::ostream &os, int indent = 0) const;
+
+    /** All entries in insertion order. */
+    const std::vector<Stat> &entries() const { return order; }
+
+    size_t size() const { return order.size(); }
+    bool empty() const { return order.empty(); }
+
+    bool operator==(const StatDict &o) const;
+    bool operator!=(const StatDict &o) const { return !(*this == o); }
+
+  private:
+    std::vector<Stat> order;
+    std::unordered_map<std::string, size_t> index;
+};
+
+/** Escape a string for inclusion in a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/** Format a double as a JSON number (integers without trailing .0). */
+std::string jsonNumber(double v);
 
 /**
  * A group of related statistics with pretty-printing. Components embed a
@@ -37,6 +86,9 @@ class StatGroup
 
     /** Write "group.stat value" lines to os. */
     void dump(std::ostream &os) const;
+
+    /** Copy current counter values into a dict as "group.stat" keys. */
+    void snapshot(StatDict &into) const;
 
     const std::string &groupName() const { return name; }
 

@@ -24,6 +24,15 @@ runConfig(const Program &prog, const ProcessorConfig &cfg,
     return p.run(max_insts);
 }
 
+std::string
+statsSummaryLine(const ProcessorStats &s)
+{
+    return "ipc=" + fmtDouble(s.ipc(), 3) +
+        " cycles=" + std::to_string(s.cycles) +
+        " insts=" + std::to_string(s.retiredInsts) +
+        " misp/1k=" + fmtDouble(s.traceMispPerKilo(), 2);
+}
+
 void
 printStats(std::ostream &os, const std::string &title,
            const ProcessorStats &s)

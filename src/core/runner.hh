@@ -33,6 +33,10 @@ ProcessorStats runConfig(const Program &prog, const ProcessorConfig &cfg,
 void printStats(std::ostream &os, const std::string &title,
                 const ProcessorStats &s);
 
+/** One-line summary ("ipc=… cycles=… insts=… misp/1k=…") for progress
+ *  lines and sweep reports. */
+std::string statsSummaryLine(const ProcessorStats &s);
+
 } // namespace tproc
 
 #endif // TPROC_CORE_RUNNER_HH

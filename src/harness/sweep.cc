@@ -1,0 +1,253 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+#include "core/runner.hh"
+#include "workloads/workloads.hh"
+
+namespace tproc::harness
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+}
+
+std::string
+fmtSeconds(double s)
+{
+    char buf[32];
+    if (s >= 90.0) {
+        long total = static_cast<long>(s + 0.5);
+        std::snprintf(buf, sizeof(buf), "%ldm%02lds", total / 60,
+                      total % 60);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.1fs", s);
+    }
+    return buf;
+}
+
+} // namespace
+
+std::string
+SweepPoint::label() const
+{
+    if (!labelOverride.empty())
+        return labelOverride;
+    return workload + "/" + (useConfig ? "<config>" : model);
+}
+
+StatDict
+statsToDict(const ProcessorStats &s)
+{
+    // ProcessorStats is 39 uint64_t counters, each mirrored below. The
+    // assert trips when a counter is added so it cannot silently escape
+    // the JSON export, the merge, or the serial-vs-parallel identity
+    // checks that compare through this dict.
+    static_assert(sizeof(ProcessorStats) == 39 * sizeof(uint64_t),
+                  "ProcessorStats changed: update statsToDict");
+    StatDict d;
+    d.set("cycles", s.cycles);
+    d.set("retiredInsts", s.retiredInsts);
+    d.set("retiredTraces", s.retiredTraces);
+    d.set("retiredTraceLenSum", s.retiredTraceLenSum);
+    d.set("dispatchedTraces", s.dispatchedTraces);
+    d.set("squashedTraces", s.squashedTraces);
+    d.set("squashedInsts", s.squashedInsts);
+    d.set("mispEvents", s.mispEvents);
+    d.set("condMispEvents", s.condMispEvents);
+    d.set("indirectMispEvents", s.indirectMispEvents);
+    d.set("recoveriesFgci", s.recoveriesFgci);
+    d.set("recoveriesCgci", s.recoveriesCgci);
+    d.set("recoveriesFull", s.recoveriesFull);
+    d.set("cgciReconverged", s.cgciReconverged);
+    d.set("cgciAbandoned", s.cgciAbandoned);
+    d.set("tracesPreserved", s.tracesPreserved);
+    d.set("redispatchedTraces", s.redispatchedTraces);
+    d.set("reissuedSlots", s.reissuedSlots);
+    d.set("reissueLocal", s.reissueLocal);
+    d.set("reissueGlobal", s.reissueGlobal);
+    d.set("reissueViol", s.reissueViol);
+    d.set("reissueRedisp", s.reissueRedisp);
+    d.set("loadViolations", s.loadViolations);
+    d.set("insertActiveCycles", s.insertActiveCycles);
+    d.set("dispatchBlockedCycles", s.dispatchBlockedCycles);
+    d.set("fetchStallCycles", s.fetchStallCycles);
+    d.set("retiredCondBranches", s.retiredCondBranches);
+    d.set("retiredBranchMisps", s.retiredBranchMisps);
+    d.set("tcLookups", s.tcLookups);
+    d.set("tcMisses", s.tcMisses);
+    d.set("icAccesses", s.icAccesses);
+    d.set("icMisses", s.icMisses);
+    d.set("dcAccesses", s.dcAccesses);
+    d.set("dcMisses", s.dcMisses);
+    d.set("bitLookups", s.bitLookups);
+    d.set("bitMisses", s.bitMisses);
+    d.set("tracePredictions", s.tracePredictions);
+    d.set("fallbackFetches", s.fallbackFetches);
+    d.set("constructions", s.constructions);
+    return d;
+}
+
+StatDict
+mergeResults(const std::vector<SweepResult> &results)
+{
+    StatDict merged;
+    for (const auto &r : results) {
+        if (r.ok)
+            merged.merge(statsToDict(r.stats));
+    }
+    return merged;
+}
+
+void
+writeResultsJson(std::ostream &os, const std::vector<SweepResult> &results)
+{
+    os << "[";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        os << (i ? "," : "") << "\n  {\n"
+           << "    \"workload\": \"" << jsonEscape(r.point.workload)
+           << "\",\n"
+           << "    \"model\": \""
+           << jsonEscape(r.point.useConfig ? "<config>" : r.point.model)
+           << "\",\n"
+           << "    \"label\": \"" << jsonEscape(r.point.label()) << "\",\n"
+           << "    \"seed\": " << r.point.seed << ",\n"
+           << "    \"ok\": " << (r.ok ? "true" : "false") << ",\n"
+           << "    \"error\": \"" << jsonEscape(r.error) << "\",\n"
+           << "    \"wall_seconds\": " << jsonNumber(r.wallSeconds)
+           << ",\n"
+           << "    \"ipc\": " << jsonNumber(r.stats.ipc()) << ",\n"
+           << "    \"stats\": ";
+        statsToDict(r.stats).writeJson(os, 4);
+        os << "\n  }";
+    }
+    if (!results.empty())
+        os << '\n';
+    os << "]\n";
+}
+
+std::vector<SweepPoint>
+crossPoints(const std::vector<std::string> &workloads,
+            const std::vector<std::string> &models, uint64_t seed,
+            uint64_t max_insts, bool verify)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(workloads.size() * models.size());
+    for (const auto &w : workloads) {
+        for (const auto &m : models) {
+            SweepPoint p;
+            p.workload = w;
+            p.model = m;
+            p.seed = seed;
+            p.maxInsts = max_insts;
+            p.verify = verify;
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
+SweepResult
+SweepEngine::runPoint(const SweepPoint &p)
+{
+    SweepResult r;
+    r.point = p;
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+        ScopedErrorCapture capture;
+        Workload w = makeWorkload(p.workload, p.seed, p.scale);
+        ProcessorConfig cfg;
+        if (p.useConfig) {
+            cfg = p.config;
+        } else {
+            cfg = ProcessorConfig::forModel(p.model);
+            cfg.verifyRetirement = p.verify;
+        }
+        r.stats = runConfig(w.program, cfg, p.maxInsts);
+        r.ok = true;
+    } catch (const std::exception &e) {
+        r.error = e.what();
+    } catch (...) {
+        r.error = "unknown error";
+    }
+    r.wallSeconds = secondsSince(t0);
+    return r;
+}
+
+unsigned
+SweepEngine::effectiveThreads(size_t n) const
+{
+    unsigned t = opts.threads ? opts.threads
+                              : std::thread::hardware_concurrency();
+    if (t == 0)
+        t = 1;
+    if (n < t)
+        t = static_cast<unsigned>(n);
+    return t ? t : 1;
+}
+
+std::vector<SweepResult>
+SweepEngine::run(const std::vector<SweepPoint> &points)
+{
+    std::vector<SweepResult> results(points.size());
+    if (points.empty())
+        return results;
+
+    const unsigned nthreads = effectiveThreads(points.size());
+    std::ostream &prog =
+        opts.progressStream ? *opts.progressStream : std::cerr;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex progressMutex;
+    auto t0 = std::chrono::steady_clock::now();
+
+    auto worker = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1);
+            if (i >= points.size())
+                return;
+            results[i] = runPoint(points[i]);
+            size_t d = done.fetch_add(1) + 1;
+            if (opts.progress) {
+                double elapsed = secondsSince(t0);
+                double eta =
+                    elapsed / d * static_cast<double>(points.size() - d);
+                std::lock_guard<std::mutex> lock(progressMutex);
+                prog << "  [" << d << "/" << points.size() << "] "
+                     << results[i].point.label() << ": "
+                     << (results[i].ok
+                             ? "ipc=" + fmtDouble(results[i].stats.ipc(), 3)
+                             : "FAILED (" + results[i].error + ")")
+                     << "  " << fmtSeconds(results[i].wallSeconds)
+                     << "  elapsed " << fmtSeconds(elapsed) << "  eta "
+                     << fmtSeconds(eta) << '\n';
+            }
+        }
+    };
+
+    if (nthreads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(nthreads);
+        for (unsigned t = 0; t < nthreads; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    return results;
+}
+
+} // namespace tproc::harness

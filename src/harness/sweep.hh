@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Parallel sweep engine: fan (workload x configuration) simulation
+ * points across worker threads.
+ *
+ * Each SweepPoint is an isolated, retryable unit of work in the
+ * microreboot spirit: it constructs its own workload from an explicit
+ * (name, seed, scale) triple and its own ProcessorConfig, so results are
+ * bit-identical regardless of thread count or scheduling order, and a
+ * point that panics is reported as a failed result instead of taking the
+ * whole batch down.
+ */
+
+#ifndef TPROC_HARNESS_SWEEP_HH
+#define TPROC_HARNESS_SWEEP_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/processor.hh"
+
+namespace tproc::harness
+{
+
+/** One simulation point: which program, on which machine, how long. */
+struct SweepPoint
+{
+    /** Named workload (see makeWorkload). */
+    std::string workload;
+
+    /** Named model (ProcessorConfig::forModel); ignored if useConfig. */
+    std::string model = "base";
+
+    /** Explicit configuration, used when useConfig is set. */
+    ProcessorConfig config;
+    bool useConfig = false;
+
+    /** Deterministic seed for the workload's generated data. */
+    uint64_t seed = 1;
+
+    /** Workload iteration-count scale factor. */
+    double scale = 1.0;
+
+    /** Retired-instruction limit. */
+    uint64_t maxInsts = UINT64_MAX;
+
+    /** Golden-model retirement verification (named models only; an
+     *  explicit config carries its own verifyRetirement flag). */
+    bool verify = true;
+
+    /** Display label; label() falls back to "workload/model". */
+    std::string labelOverride;
+
+    std::string label() const;
+};
+
+/** Outcome of one point: stats on success, an error string on failure. */
+struct SweepResult
+{
+    SweepPoint point;
+    ProcessorStats stats;
+    bool ok = false;
+    std::string error;
+    double wallSeconds = 0.0;
+};
+
+/** Flatten every ProcessorStats counter into the mergeable dict. */
+StatDict statsToDict(const ProcessorStats &s);
+
+/** Merge (sum) the stats of all successful results into one dict. */
+StatDict mergeResults(const std::vector<SweepResult> &results);
+
+/** Serialize results as a JSON array (one object per point). */
+void writeResultsJson(std::ostream &os,
+                      const std::vector<SweepResult> &results);
+
+/**
+ * Cartesian helper: one point per (workload x model), sharing seed,
+ * instruction limit, and verify flag.
+ */
+std::vector<SweepPoint>
+crossPoints(const std::vector<std::string> &workloads,
+            const std::vector<std::string> &models, uint64_t seed,
+            uint64_t max_insts, bool verify);
+
+/**
+ * Thread-pooled executor for a batch of SweepPoints. Results come back
+ * in input order; with identical points and seeds, the result of every
+ * point is bit-identical no matter how many workers ran the batch.
+ */
+class SweepEngine
+{
+  public:
+    struct Options
+    {
+        /** Worker threads; 0 means std::thread::hardware_concurrency. */
+        unsigned threads = 0;
+
+        /** Print per-point completion lines with ETA to progressStream. */
+        bool progress = false;
+
+        /** Destination for progress lines; null means std::cerr. */
+        std::ostream *progressStream = nullptr;
+    };
+
+    SweepEngine() = default;
+    explicit SweepEngine(Options opts_) : opts(opts_) {}
+
+    /** Run all points to completion; never throws for per-point faults. */
+    std::vector<SweepResult> run(const std::vector<SweepPoint> &points);
+
+    /** Run one point in isolation (panic/fatal become result.error). */
+    static SweepResult runPoint(const SweepPoint &p);
+
+    /** The worker count run() would use for a batch of n points. */
+    unsigned effectiveThreads(size_t n) const;
+
+  private:
+    Options opts;
+};
+
+} // namespace tproc::harness
+
+#endif // TPROC_HARNESS_SWEEP_HH

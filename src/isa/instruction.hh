@@ -66,7 +66,14 @@ struct Instruction
     ArchReg rs2 = 0;
     int64_t imm = 0;
 
-    bool operator==(const Instruction &o) const = default;
+    bool
+    operator==(const Instruction &o) const
+    {
+        return op == o.op && rd == o.rd && rs1 == o.rs1 && rs2 == o.rs2 &&
+            imm == o.imm;
+    }
+
+    bool operator!=(const Instruction &o) const { return !(*this == o); }
 };
 
 /** @name Classification predicates. */

@@ -54,7 +54,8 @@ class PathHistory
     /** Hash of just the most recent trace (simple predictor index). */
     uint64_t last() const { return h[0]; }
 
-    bool operator==(const PathHistory &o) const = default;
+    bool operator==(const PathHistory &o) const { return h == o.h; }
+    bool operator!=(const PathHistory &o) const { return !(*this == o); }
 
   private:
     std::array<uint64_t, depth> h{};

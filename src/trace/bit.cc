@@ -1,15 +1,28 @@
 #include "trace/bit.hh"
 
-#include <bit>
-
 #include "common/logging.hh"
 
 namespace tproc
 {
 
+namespace
+{
+
+/** floor(log2(v)) for v > 0 (C++17 stand-in for std::bit_width(v) - 1). */
+size_t
+log2Floor(size_t v)
+{
+    size_t n = 0;
+    while (v >>= 1)
+        ++n;
+    return n;
+}
+
+} // namespace
+
 Bit::Bit(const Params &p)
     : params(p), sets(p.entries / p.assoc),
-      setShift(std::bit_width(sets) - 1), array(sets * p.assoc)
+      setShift(log2Floor(sets)), array(sets * p.assoc)
 {
     panic_if(sets == 0 || (sets & (sets - 1)) != 0,
              "Bit: set count must be a power of two");

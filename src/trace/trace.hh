@@ -28,7 +28,14 @@ struct TraceId
 
     bool valid() const { return startPc != invalidAddr; }
 
-    bool operator==(const TraceId &o) const = default;
+    bool
+    operator==(const TraceId &o) const
+    {
+        return startPc == o.startPc && outcomes == o.outcomes &&
+            numBranches == o.numBranches;
+    }
+
+    bool operator!=(const TraceId &o) const { return !(*this == o); }
 
     uint64_t
     hash() const

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Sweep-engine tests: the StatDict merge/serialize layer, parallel
+ * results bit-identical to serial runs, merged stats equality, and
+ * per-point fault isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "harness/sweep.hh"
+
+namespace tproc
+{
+
+TEST(StatDict, SetIncGetMerge)
+{
+    StatDict a;
+    a.set("x", 2);
+    a.inc("x", 3);
+    a.inc("y");
+    EXPECT_EQ(a.get("x"), 5);
+    EXPECT_EQ(a.get("y"), 1);
+    EXPECT_EQ(a.get("absent"), 0);
+    EXPECT_TRUE(a.has("x"));
+    EXPECT_FALSE(a.has("absent"));
+
+    StatDict b;
+    b.set("y", 10);
+    b.set("z", 7);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 5);
+    EXPECT_EQ(a.get("y"), 11);
+    EXPECT_EQ(a.get("z"), 7);
+    EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(StatDict, EqualityIsOrderSensitiveAndExact)
+{
+    StatDict a, b;
+    a.set("x", 1);
+    a.set("y", 2);
+    b.set("x", 1);
+    b.set("y", 2);
+    EXPECT_EQ(a, b);
+    b.inc("y");
+    EXPECT_NE(a, b);
+}
+
+TEST(StatDict, StatGroupSnapshot)
+{
+    uint64_t hits = 7;
+    double rate = 0.5;
+    StatGroup g("cache");
+    g.add("hits", &hits);
+    g.add("rate", &rate);
+
+    StatDict d;
+    g.snapshot(d);
+    EXPECT_EQ(d.get("cache.hits"), 7);
+    EXPECT_EQ(d.get("cache.rate"), 0.5);
+
+    // Snapshots are point-in-time copies that merge like any dict.
+    hits = 10;
+    g.snapshot(d);
+    EXPECT_EQ(d.get("cache.hits"), 10);
+    StatDict other;
+    other.set("cache.hits", 1);
+    d.merge(other);
+    EXPECT_EQ(d.get("cache.hits"), 11);
+}
+
+TEST(StatDict, JsonExport)
+{
+    StatDict d;
+    d.set("cycles", 123);
+    d.set("ipc", 2.5);
+    std::ostringstream os;
+    d.writeJson(os);
+    EXPECT_EQ(os.str(), "{\n  \"cycles\": 123,\n  \"ipc\": 2.5\n}");
+
+    StatDict empty;
+    std::ostringstream os2;
+    empty.writeJson(os2);
+    EXPECT_EQ(os2.str(), "{}");
+
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(jsonNumber(400000), "400000");
+}
+
+TEST(ScopedErrorCapture, TurnsFatalIntoException)
+{
+    EXPECT_FALSE(ScopedErrorCapture::active());
+    ScopedErrorCapture guard;
+    EXPECT_TRUE(ScopedErrorCapture::active());
+    EXPECT_THROW(fatal("synthetic failure %d", 42), SimError);
+    try {
+        panic("synthetic panic");
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("synthetic panic"),
+                  std::string::npos);
+    }
+}
+
+namespace
+{
+
+/** A small but non-trivial point set: 2 workloads x 2 models. */
+std::vector<harness::SweepPoint>
+smallPoints()
+{
+    auto points = harness::crossPoints({"compress", "li"},
+                                       {"base", "FG+MLB-RET"}, 1, 15000,
+                                       /*verify=*/true);
+    for (auto &p : points)
+        p.scale = 0.25;
+    return points;
+}
+
+std::vector<harness::SweepResult>
+runWith(unsigned threads, const std::vector<harness::SweepPoint> &points)
+{
+    harness::SweepEngine::Options opts;
+    opts.threads = threads;
+    return harness::SweepEngine(opts).run(points);
+}
+
+} // namespace
+
+TEST(SweepEngine, ParallelBitIdenticalToSerial)
+{
+    auto points = smallPoints();
+    auto serial = runWith(1, points);
+    auto parallel = runWith(4, points);
+
+    ASSERT_EQ(serial.size(), points.size());
+    ASSERT_EQ(parallel.size(), points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok) << serial[i].error;
+        ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+        // Results come back in input order and every counter matches
+        // exactly: scheduling must not leak into simulation state.
+        EXPECT_EQ(serial[i].point.label(), parallel[i].point.label());
+        EXPECT_EQ(harness::statsToDict(serial[i].stats),
+                  harness::statsToDict(parallel[i].stats))
+            << points[i].label();
+        EXPECT_GT(serial[i].stats.retiredInsts, 0u);
+    }
+
+    // The mergeable layer agrees too, and sums what it should.
+    StatDict ms = harness::mergeResults(serial);
+    StatDict mp = harness::mergeResults(parallel);
+    EXPECT_EQ(ms, mp);
+    uint64_t insts = 0;
+    for (const auto &r : serial)
+        insts += r.stats.retiredInsts;
+    EXPECT_EQ(ms.get("retiredInsts"), static_cast<double>(insts));
+}
+
+TEST(SweepEngine, RepeatedParallelRunsAreDeterministic)
+{
+    auto points = smallPoints();
+    auto a = runWith(3, points);
+    auto b = runWith(3, points);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(harness::statsToDict(a[i].stats),
+                  harness::statsToDict(b[i].stats));
+}
+
+TEST(SweepEngine, FaultingPointIsIsolated)
+{
+    auto points = smallPoints();
+    harness::SweepPoint bad;
+    bad.workload = "nonesuch";        // makeWorkload fatal()s on this
+    bad.model = "base";
+    bad.maxInsts = 1000;
+    points.insert(points.begin() + 1, bad);
+
+    auto results = runWith(4, points);
+    ASSERT_EQ(results.size(), points.size());
+
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_NE(results[1].error.find("unknown workload"),
+              std::string::npos);
+
+    // Every other point still ran to completion.
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (i == 1)
+            continue;
+        EXPECT_TRUE(results[i].ok) << results[i].error;
+        EXPECT_GT(results[i].stats.retiredInsts, 0u);
+    }
+
+    // The failed point contributes nothing to the merged stats.
+    StatDict merged = harness::mergeResults(results);
+    uint64_t insts = 0;
+    for (const auto &r : results)
+        if (r.ok)
+            insts += r.stats.retiredInsts;
+    EXPECT_EQ(merged.get("retiredInsts"), static_cast<double>(insts));
+}
+
+TEST(SweepEngine, UnknownModelIsIsolatedToo)
+{
+    std::vector<harness::SweepPoint> points =
+        harness::crossPoints({"compress"}, {"base", "nonesuch"}, 1, 5000,
+                             true);
+    for (auto &p : points)
+        p.scale = 0.25;
+    auto results = runWith(2, points);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_NE(results[1].error.find("unknown processor model"),
+              std::string::npos);
+}
+
+TEST(SweepEngine, EffectiveThreadsClampsToBatch)
+{
+    harness::SweepEngine::Options opts;
+    opts.threads = 8;
+    harness::SweepEngine e(opts);
+    EXPECT_EQ(e.effectiveThreads(3), 3u);
+    EXPECT_EQ(e.effectiveThreads(100), 8u);
+    EXPECT_EQ(e.effectiveThreads(0), 1u);
+}
+
+TEST(SweepEngine, ResultsJsonIsWellFormed)
+{
+    auto points = harness::crossPoints({"compress"}, {"base"}, 1, 5000,
+                                       true);
+    points[0].scale = 0.25;
+    auto results = runWith(1, points);
+    std::ostringstream os;
+    harness::writeResultsJson(os, results);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"workload\": \"compress\""), std::string::npos);
+    EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"stats\": {"), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+} // namespace tproc

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * tproc-sweep: batch simulation CLI. Fans (workload x model) points
+ * across worker threads via the harness SweepEngine, prints a result
+ * table, and optionally writes the full per-point stats as JSON.
+ *
+ * Usage:
+ *   tproc-sweep [--workloads=a,b,...] [--models=a,b,...] [--insts=N]
+ *               [--seed=S] [--threads=T] [--json=FILE] [--no-verify]
+ *               [--quiet]
+ *
+ * Defaults: all eight workloads, models base + FG+MLB-RET, 400000
+ * instructions, seed 1, hardware-concurrency threads, progress on.
+ * Exit status is the number of failed points (capped at 125).
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/runner.hh"
+#include "harness/sweep.hh"
+#include "workloads/workloads.hh"
+
+using namespace tproc;
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > pos)
+            out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+bool
+parseArg(const char *arg, const char *key, std::string &value)
+{
+    size_t len = std::strlen(key);
+    if (std::strncmp(arg, key, len) != 0 || arg[len] != '=')
+        return false;
+    value = arg + len + 1;
+    return true;
+}
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: tproc-sweep [--workloads=a,b,...] [--models=a,b,...]\n"
+          "                   [--insts=N] [--seed=S] [--threads=T]\n"
+          "                   [--json=FILE] [--no-verify] [--quiet]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> workloads = workloadNames();
+    std::vector<std::string> models = {"base", "FG+MLB-RET"};
+    uint64_t insts = 400000;
+    uint64_t seed = 1;
+    unsigned threads = 0;
+    bool verify = true;
+    bool quiet = false;
+    std::string json_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (parseArg(argv[i], "--workloads", v)) {
+            workloads = splitList(v);
+        } else if (parseArg(argv[i], "--models", v)) {
+            models = splitList(v);
+        } else if (parseArg(argv[i], "--insts", v)) {
+            insts = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (parseArg(argv[i], "--seed", v)) {
+            seed = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (parseArg(argv[i], "--threads", v)) {
+            threads = static_cast<unsigned>(std::strtoul(v.c_str(),
+                                                         nullptr, 10));
+        } else if (parseArg(argv[i], "--json", v)) {
+            json_path = v;
+        } else if (std::strcmp(argv[i], "--no-verify") == 0) {
+            verify = false;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "tproc-sweep: unknown argument '" << argv[i]
+                      << "'\n";
+            usage(std::cerr);
+            return 126;
+        }
+    }
+
+    auto points =
+        harness::crossPoints(workloads, models, seed, insts, verify);
+
+    harness::SweepEngine::Options opts;
+    opts.threads = threads;
+    opts.progress = !quiet;
+    harness::SweepEngine engine(opts);
+
+    if (!quiet) {
+        std::cerr << "sweep: " << points.size() << " points ("
+                  << workloads.size() << " workloads x " << models.size()
+                  << " models), " << engine.effectiveThreads(points.size())
+                  << " threads, " << insts << " insts/point, seed " << seed
+                  << (verify ? ", verified" : "") << "\n";
+    }
+
+    auto results = engine.run(points);
+
+    TextTable table;
+    table.header({"point", "result"});
+    int failed = 0;
+    for (const auto &r : results) {
+        if (r.ok) {
+            table.row({r.point.label(), statsSummaryLine(r.stats)});
+        } else {
+            table.row({r.point.label(), "FAILED: " + r.error});
+            ++failed;
+        }
+    }
+    table.print(std::cout);
+
+    StatDict merged = harness::mergeResults(results);
+    std::cout << "\nmerged: " << results.size() - failed << "/"
+              << results.size() << " points ok, "
+              << jsonNumber(merged.get("retiredInsts"))
+              << " total retired insts, "
+              << jsonNumber(merged.get("cycles")) << " total cycles\n";
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "tproc-sweep: cannot write " << json_path << '\n';
+            return 126;
+        }
+        harness::writeResultsJson(out, results);
+        if (!quiet)
+            std::cerr << "wrote " << json_path << '\n';
+    }
+
+    return failed > 125 ? 125 : failed;
+}
