@@ -66,6 +66,16 @@ benchThreads()
     return 0;
 }
 
+/** Clean re-runs granted to a failed point before its failure stands
+ *  (microreboot-style). Override with TPROC_SWEEP_RETRIES. */
+inline unsigned
+benchRetries()
+{
+    if (const char *e = std::getenv("TPROC_SWEEP_RETRIES"))
+        return static_cast<unsigned>(std::strtoul(e, nullptr, 10));
+    return 0;
+}
+
 /** A sweep engine configured from the TPROC_BENCH_* environment. */
 inline harness::SweepEngine
 makeEngine()
@@ -73,18 +83,26 @@ makeEngine()
     harness::SweepEngine::Options opts;
     opts.threads = benchThreads();
     opts.progress = true;
+    opts.retries = benchRetries();
     return harness::SweepEngine(opts);
 }
 
 /**
- * Run a batch of points through the engine; a failed point aborts the
- * driver (the tables need every cell). If TPROC_SWEEP_JSON names a file,
- * the full per-point results are written there for CI to archive —
- * including failed points, so the artifact survives for debugging.
+ * Run a batch of points through the engine; any failed point aborts the
+ * driver (the tables need every cell), but only after the whole batch
+ * has run and every failure has been listed. If TPROC_SWEEP_JSON names
+ * a file, the full per-point results are written there for CI to
+ * archive — including failed points, so the artifact survives for
+ * debugging.
  */
 inline std::vector<harness::SweepResult>
-runSweep(const std::vector<harness::SweepPoint> &points)
+runSweep(std::vector<harness::SweepPoint> points)
 {
+    // Bench drivers assemble points by hand; stamp grid indices by
+    // position so failure reports name the right point and the JSON
+    // artifact stays merge-compatible (no duplicate index 0).
+    for (size_t i = 0; i < points.size(); ++i)
+        points[i].index = i;
     auto engine = makeEngine();
     std::cerr << "  sweep: " << points.size() << " points across "
               << engine.effectiveThreads(points.size()) << " threads\n";
@@ -94,12 +112,20 @@ runSweep(const std::vector<harness::SweepPoint> &points)
         harness::writeResultsJson(out, results);
         std::cerr << "  wrote sweep results to " << path << '\n';
     }
+    size_t failed = 0;
     for (const auto &r : results) {
         if (!r.ok) {
-            std::cerr << "bench: point " << r.point.label()
-                      << " failed: " << r.error << '\n';
-            std::exit(1);
+            std::cerr << "bench: point " << r.point.index << " "
+                      << r.point.label() << " failed after " << r.attempts
+                      << (r.attempts == 1 ? " attempt: " : " attempts: ")
+                      << r.error << '\n';
+            ++failed;
         }
+    }
+    if (failed) {
+        std::cerr << "bench: " << failed << " of " << results.size()
+                  << " points failed\n";
+        std::exit(1);
     }
     return results;
 }

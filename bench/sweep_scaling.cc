@@ -52,6 +52,10 @@ main()
     for (unsigned r = 1; r < repeat; ++r)
         for (size_t i = 0; i < base_count; ++i)
             points.push_back(points[i]);
+    // Re-stamp grid indices after tiling so the JSON artifact carries
+    // distinct per-point identities.
+    for (size_t i = 0; i < points.size(); ++i)
+        points[i].index = i;
 
     harness::SweepEngine::Options serial_opts;
     serial_opts.threads = 1;

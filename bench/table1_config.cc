@@ -19,7 +19,8 @@ main()
     TextTable t;
     t.header({"parameter", "value"});
     t.row({"frontend latency",
-           std::to_string(cfg.frontendLatency) + " cycles (fetch + dispatch)"});
+           std::to_string(cfg.frontendLatency)
+               + " cycles (fetch + dispatch)"});
     t.row({"trace predictor",
            "hybrid: 2^16-entry path-based (8-trace hist.) + 2^16 simple"});
     t.row({"trace cache",

@@ -5,16 +5,28 @@
 #include <cstdlib>
 #include <utility>
 
-namespace {
-uint64_t watchAddr() {
+namespace
+{
+
+uint64_t
+watchAddr()
+{
     static uint64_t a = [] {
-        const char* e = getenv("TPROC_WATCH_ADDR");
+        const char *e = getenv("TPROC_WATCH_ADDR");
         return e ? strtoull(e, nullptr, 10) : ~0ull;
     }();
     return a;
 }
-#define WATCH(addr, ...) do { if ((addr) == watchAddr()) { fprintf(stderr, "ARB " __VA_ARGS__); fprintf(stderr, "\n"); } } while (0)
-}
+
+#define WATCH(addr, ...)                                                 \
+    do {                                                                 \
+        if ((addr) == watchAddr()) {                                     \
+            fprintf(stderr, "ARB " __VA_ARGS__);                         \
+            fprintf(stderr, "\n");                                       \
+        }                                                                \
+    } while (0)
+
+} // namespace
 
 #include "common/logging.hh"
 

@@ -1,8 +1,12 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <ostream>
+#include <stdexcept>
 
 namespace tproc
 {
@@ -151,6 +155,396 @@ jsonNumber(double v)
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (k != Kind::Bool)
+        throw std::runtime_error("json: value is not a bool");
+    return boolVal;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (k != Kind::Number)
+        throw std::runtime_error("json: value is not a number");
+    return numVal;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (k != Kind::String)
+        throw std::runtime_error("json: value is not a string");
+    return strVal;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    if (k != Kind::Array)
+        throw std::runtime_error("json: value is not an array");
+    return arr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::asObject() const
+{
+    if (k != Kind::Object)
+        throw std::runtime_error("json: value is not an object");
+    return obj;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (k != Kind::Object)
+        return nullptr;
+    for (const auto &kv : obj) {
+        if (kv.first == key)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        throw std::runtime_error("json: missing key '" + key + "'");
+    return *v;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double dflt) const
+{
+    const JsonValue *v = find(key);
+    return v && v->k == Kind::Number ? v->numVal : dflt;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key, const std::string &dflt) const
+{
+    const JsonValue *v = find(key);
+    return v && v->k == Kind::String ? v->strVal : dflt;
+}
+
+bool
+JsonValue::boolOr(const std::string &key, bool dflt) const
+{
+    const JsonValue *v = find(key);
+    return v && v->k == Kind::Bool ? v->boolVal : dflt;
+}
+
+JsonValue
+JsonValue::makeBool(bool v)
+{
+    JsonValue j;
+    j.k = Kind::Bool;
+    j.boolVal = v;
+    return j;
+}
+
+JsonValue
+JsonValue::makeNumber(double v)
+{
+    JsonValue j;
+    j.k = Kind::Number;
+    j.numVal = v;
+    return j;
+}
+
+JsonValue
+JsonValue::makeString(std::string v)
+{
+    JsonValue j;
+    j.k = Kind::String;
+    j.strVal = std::move(v);
+    return j;
+}
+
+JsonValue
+JsonValue::makeArray()
+{
+    JsonValue j;
+    j.k = Kind::Array;
+    return j;
+}
+
+JsonValue
+JsonValue::makeObject()
+{
+    JsonValue j;
+    j.k = Kind::Object;
+    return j;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    if (k != Kind::Array)
+        throw std::runtime_error("json: push on non-array");
+    arr.push_back(std::move(v));
+}
+
+void
+JsonValue::set(std::string key, JsonValue v)
+{
+    if (k != Kind::Object)
+        throw std::runtime_error("json: set on non-object");
+    obj.emplace_back(std::move(key), std::move(v));
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a string; tracks offset for errors. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text_) : text(text_) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipSpace();
+        if (pos != text.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("json: " + what + " at byte " +
+                                 std::to_string(pos));
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool
+    consume(const char *lit)
+    {
+        size_t n = std::strlen(lit);
+        if (text.compare(pos, n, lit) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipSpace();
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return JsonValue::makeString(parseString());
+          case 't':
+            if (consume("true"))
+                return JsonValue::makeBool(true);
+            fail("bad literal");
+          case 'f':
+            if (consume("false"))
+                return JsonValue::makeBool(false);
+            fail("bad literal");
+          case 'n':
+            if (consume("null"))
+                return JsonValue::makeNull();
+            fail("bad literal");
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue obj = JsonValue::makeObject();
+        skipSpace();
+        if (peek() == '}') {
+            ++pos;
+            return obj;
+        }
+        for (;;) {
+            skipSpace();
+            std::string key = parseString();
+            skipSpace();
+            expect(':');
+            obj.set(std::move(key), parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue arr = JsonValue::makeArray();
+        skipSpace();
+        if (peek() == ']') {
+            ++pos;
+            return arr;
+        }
+        for (;;) {
+            arr.push(parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                fail("unterminated escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    fail("bad \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // Our writer only emits \u00xx for control bytes; decode
+                // the Latin-1 range and refuse anything wider rather
+                // than mis-encode it.
+                if (cp > 0xff)
+                    fail("unsupported \\u escape > 0xff");
+                out += static_cast<char>(cp);
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+                text[pos] == '+' || text[pos] == '-')) {
+            ++pos;
+        }
+        if (pos == start)
+            fail("expected a value");
+        char *end = nullptr;
+        const std::string num = text.substr(start, pos - start);
+        double v = std::strtod(num.c_str(), &end);
+        if (!end || *end != '\0')
+            fail("bad number '" + num + "'");
+        return JsonValue::makeNumber(v);
+    }
+
+    const std::string &text;
+    size_t pos = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+bool
+tryParseJson(const std::string &text, JsonValue &out, std::string *error)
+{
+    try {
+        out = parseJson(text);
+        return true;
+    } catch (const std::exception &e) {
+        if (error)
+            *error = e.what();
+        return false;
+    }
+}
+
+StatDict
+statDictFromJson(const JsonValue &v)
+{
+    StatDict d;
+    for (const auto &kv : v.asObject())
+        d.set(kv.first, kv.second.asNumber());
+    return d;
 }
 
 void

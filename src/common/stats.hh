@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace tproc
@@ -70,6 +71,77 @@ std::string jsonEscape(const std::string &s);
 
 /** Format a double as a JSON number (integers without trailing .0). */
 std::string jsonNumber(double v);
+
+/**
+ * Minimal JSON document: just enough to read the sweep artifacts this
+ * codebase writes (shard result files, journals, merged summaries) back
+ * in. Objects preserve key order so a parse/serialize round trip of a
+ * StatDict is bit-identical. Accessors throw std::runtime_error on a
+ * kind mismatch so malformed artifacts surface as reportable errors
+ * rather than silent zeros.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    Kind kind() const { return k; }
+    bool isNull() const { return k == Kind::Null; }
+    bool isObject() const { return k == Kind::Object; }
+    bool isArray() const { return k == Kind::Array; }
+
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+    const std::vector<std::pair<std::string, JsonValue>> &asObject() const;
+
+    /** Object member by key; null if absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member by key; throws std::runtime_error if absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Convenience: member as number/string/bool with a default. */
+    double numberOr(const std::string &key, double dflt) const;
+    std::string stringOr(const std::string &key,
+                         const std::string &dflt) const;
+    bool boolOr(const std::string &key, bool dflt) const;
+
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue makeBool(bool v);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string v);
+    static JsonValue makeArray();
+    static JsonValue makeObject();
+
+    /** Array append / object append (no duplicate-key check). */
+    void push(JsonValue v);
+    void set(std::string key, JsonValue v);
+
+  private:
+    Kind k = Kind::Null;
+    bool boolVal = false;
+    double numVal = 0.0;
+    std::string strVal;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+};
+
+/**
+ * Parse one JSON document. Throws std::runtime_error (with a byte
+ * offset) on malformed input or trailing garbage.
+ */
+JsonValue parseJson(const std::string &text);
+
+/** As parseJson, but returns false instead of throwing. */
+bool tryParseJson(const std::string &text, JsonValue &out,
+                  std::string *error = nullptr);
+
+/** Rebuild a StatDict from a JSON object of name -> number. */
+StatDict statDictFromJson(const JsonValue &v);
 
 /**
  * A group of related statistics with pretty-printing. Components embed a

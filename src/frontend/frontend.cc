@@ -6,7 +6,17 @@
 
 #include "common/logging.hh"
 
-namespace { bool flog() { static bool on = std::getenv("TPROC_TRACE_RECOVERY") != nullptr; return on; } }
+namespace
+{
+
+bool
+flog()
+{
+    static bool on = std::getenv("TPROC_TRACE_RECOVERY") != nullptr;
+    return on;
+}
+
+} // namespace
 
 namespace tproc
 {

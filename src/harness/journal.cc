@@ -1,0 +1,121 @@
+#include "harness/journal.hh"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/stats.hh"
+
+namespace tproc::harness
+{
+
+SweepJournal::SweepJournal(const std::string &path) : filePath(path)
+{
+    out.open(path, std::ios::app);
+    if (!out) {
+        throw std::runtime_error("journal: cannot open '" + path +
+                                 "' for appending");
+    }
+}
+
+void
+SweepJournal::append(const SweepResult &r)
+{
+    // One record = one line = one flush: the crash model depends on a
+    // kill never interleaving or splitting records across lines.
+    std::ostringstream line;
+    writeResultJsonLine(line, r);
+
+    std::lock_guard<std::mutex> lock(mu);
+    out << line.str() << '\n';
+    out.flush();
+}
+
+std::vector<SweepResult>
+SweepJournal::load(const std::string &path, size_t *skipped)
+{
+    if (skipped)
+        *skipped = 0;
+    std::vector<SweepResult> records;
+    std::ifstream in(path);
+    if (!in)
+        return records;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        try {
+            records.push_back(resultFromJson(parseJson(line)));
+        } catch (const std::exception &) {
+            // A truncated final line is the expected footprint of a
+            // mid-write kill; drop it and let the point re-run.
+            if (skipped)
+                ++*skipped;
+        }
+    }
+    return records;
+}
+
+namespace
+{
+
+std::string
+pointModelName(const SweepPoint &p)
+{
+    return p.useConfig ? "<config>" : p.model;
+}
+
+} // namespace
+
+ResumePlan
+planResume(const std::vector<SweepPoint> &points,
+           const std::vector<SweepResult> &journal, unsigned maxAttempts)
+{
+    struct Seen
+    {
+        const SweepResult *latest = nullptr;
+        unsigned attempts = 0;
+    };
+    std::unordered_map<uint64_t, Seen> byIndex;
+    for (const auto &r : journal) {
+        Seen &s = byIndex[r.point.index];
+        s.latest = &r;
+        s.attempts += r.attempts ? r.attempts : 1;
+    }
+
+    ResumePlan plan;
+    for (const auto &p : points) {
+        auto it = byIndex.find(p.index);
+        if (it == byIndex.end()) {
+            plan.pending.push_back(p);
+            continue;
+        }
+        const SweepResult &rec = *it->second.latest;
+        if (rec.point.workload != p.workload ||
+            rec.point.model != pointModelName(p) ||
+            rec.point.seed != p.seed || rec.point.maxInsts != p.maxInsts) {
+            throw std::runtime_error(
+                "journal: record for point " + std::to_string(p.index) +
+                " is " + rec.point.label() + " (seed " +
+                std::to_string(rec.point.seed) + ", " +
+                std::to_string(rec.point.maxInsts) +
+                " insts) but this sweep has " + p.label() + " (seed " +
+                std::to_string(p.seed) + ", " +
+                std::to_string(p.maxInsts) +
+                " insts); refusing to resume a different sweep");
+        }
+        if (rec.ok) {
+            plan.reused.push_back(rec);
+            ++plan.completed;
+        } else if (it->second.attempts >= maxAttempts) {
+            plan.reused.push_back(rec);
+            ++plan.exhausted;
+        } else {
+            plan.pending.push_back(p);
+            ++plan.retried;
+        }
+    }
+    return plan;
+}
+
+} // namespace tproc::harness

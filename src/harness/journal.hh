@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Sweep checkpoint journal: one flushed JSON-lines record per finished
+ * point, so an interrupted sweep resumes from whatever had already
+ * completed instead of rebooting the whole batch (microreboot-style,
+ * after Candea & Fox: restart the smallest failed component — here, a
+ * single sweep point — with a clean slate).
+ *
+ * The crash model is "the process died between records": every append
+ * is a single write+flush of one line, so a kill can at worst truncate
+ * the final line, which load() detects and discards. Records carry the
+ * full per-point result (stats included, bit-exact through the JSON
+ * layer), so a resumed run reuses completed work without re-simulating.
+ */
+
+#ifndef TPROC_HARNESS_JOURNAL_HH
+#define TPROC_HARNESS_JOURNAL_HH
+
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hh"
+
+namespace tproc::harness
+{
+
+/** Append-only JSONL writer for sweep results (thread-safe). */
+class SweepJournal
+{
+  public:
+    /** Open path in append mode (created if absent); throws
+     *  std::runtime_error when the file cannot be opened. */
+    explicit SweepJournal(const std::string &path);
+
+    /** Append one result as one flushed JSONL line. */
+    void append(const SweepResult &r);
+
+    const std::string &path() const { return filePath; }
+
+    /**
+     * Parse every well-formed record in path (missing file -> empty).
+     * Undecodable lines — typically one final line truncated by a
+     * mid-write kill — are skipped and counted into *skipped.
+     */
+    static std::vector<SweepResult> load(const std::string &path,
+                                         size_t *skipped = nullptr);
+
+  private:
+    std::string filePath;
+    std::ofstream out;
+    std::mutex mu;
+};
+
+/** How a journal partitions a sweep into done / to-run work. */
+struct ResumePlan
+{
+    /** Points still to run: never journaled, or failed with attempt
+     *  budget remaining (their failures get retried). */
+    std::vector<SweepPoint> pending;
+
+    /** Journal results reused as-is: completed points, plus failures
+     *  whose attempt budget is exhausted. */
+    std::vector<SweepResult> reused;
+
+    size_t completed = 0;  //!< reused records that succeeded
+    size_t retried = 0;    //!< failed records queued for a clean re-run
+    size_t exhausted = 0;  //!< failures kept: attempt budget spent
+};
+
+/**
+ * Split points against journal records. A point whose latest record
+ * succeeded is reused; a failed point is retried while its cumulative
+ * journaled attempts stay below maxAttempts, and kept as a failure once
+ * they don't. Records for points outside this run's slice (e.g. a
+ * shared journal from another shard) are ignored; a record whose
+ * workload/model/seed/max_insts disagree with the point at its index
+ * means the journal belongs to a different sweep, and throws
+ * std::runtime_error rather than merge garbage.
+ */
+ResumePlan planResume(const std::vector<SweepPoint> &points,
+                      const std::vector<SweepResult> &journal,
+                      unsigned maxAttempts);
+
+} // namespace tproc::harness
+
+#endif // TPROC_HARNESS_JOURNAL_HH

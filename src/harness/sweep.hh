@@ -15,6 +15,7 @@
 #define TPROC_HARNESS_SWEEP_HH
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -54,6 +55,14 @@ struct SweepPoint
     /** Display label; label() falls back to "workload/model". */
     std::string labelOverride;
 
+    /**
+     * Position in the full (unsharded) point grid. crossPoints assigns
+     * it; shardPoints preserves it, so a point carries the same index,
+     * seed, and therefore results no matter which shard ran it. Journal
+     * records and merged artifacts are keyed and ordered by it.
+     */
+    uint64_t index = 0;
+
     std::string label() const;
 };
 
@@ -65,10 +74,17 @@ struct SweepResult
     bool ok = false;
     std::string error;
     double wallSeconds = 0.0;
+
+    /** Simulation attempts consumed producing this result (>= 1 once
+     *  run; retries bump it). */
+    unsigned attempts = 0;
 };
 
 /** Flatten every ProcessorStats counter into the mergeable dict. */
 StatDict statsToDict(const ProcessorStats &s);
+
+/** Inverse of statsToDict: rebuild the counters from a flat dict. */
+ProcessorStats statsFromDict(const StatDict &d);
 
 /** Merge (sum) the stats of all successful results into one dict. */
 StatDict mergeResults(const std::vector<SweepResult> &results);
@@ -78,13 +94,47 @@ void writeResultsJson(std::ostream &os,
                       const std::vector<SweepResult> &results);
 
 /**
+ * Parse a results array previously written by writeResultsJson (a shard
+ * artifact) or the "points" array of a merged artifact back into
+ * results. Stats survive the round trip bit for bit; throws
+ * std::runtime_error on malformed input.
+ */
+std::vector<SweepResult> readResultsJson(std::istream &is);
+
+/** Rebuild one result from its parsed JSON object (a writeResultsJson
+ *  array element or a journal line). Throws std::runtime_error. */
+SweepResult resultFromJson(const JsonValue &v);
+
+/** Serialize one result as a single-line JSON object — the journal
+ *  record format; resultFromJson is its inverse. */
+void writeResultJsonLine(std::ostream &os, const SweepResult &r);
+
+/**
+ * Serialize the canonical merged artifact: results sorted by grid
+ * index, only deterministic fields (no wall-clock), plus the summed
+ * StatDict and point counts. A serial unsharded run and any
+ * shard-then-merge of the same grid produce bit-identical bytes.
+ */
+void writeMergedJson(std::ostream &os, std::vector<SweepResult> results);
+
+/**
  * Cartesian helper: one point per (workload x model), sharing seed,
- * instruction limit, and verify flag.
+ * instruction limit, and verify flag; indices run 0..n-1 in grid order.
  */
 std::vector<SweepPoint>
 crossPoints(const std::vector<std::string> &workloads,
             const std::vector<std::string> &models, uint64_t seed,
             uint64_t max_insts, bool verify);
+
+/**
+ * The stable 1/count slice of a point grid owned by shard (0-based):
+ * points whose position in the list satisfies pos % count == shard.
+ * Striding balances neighbouring (same-workload) points across shards.
+ * Points keep their index and seed, so a sharded run computes exactly
+ * what the unsharded run would have at those indices.
+ */
+std::vector<SweepPoint> shardPoints(const std::vector<SweepPoint> &points,
+                                    unsigned shard, unsigned count);
 
 /**
  * Thread-pooled executor for a batch of SweepPoints. Results come back
@@ -104,6 +154,14 @@ class SweepEngine
 
         /** Destination for progress lines; null means std::cerr. */
         std::ostream *progressStream = nullptr;
+
+        /** Extra attempts for a failed point before its failure stands
+         *  (microreboot-style: each retry is a clean re-run). */
+        unsigned retries = 0;
+
+        /** Called once per finished point (after retries), from worker
+         *  threads but never concurrently. Journal hook. */
+        std::function<void(const SweepResult &)> onResult;
     };
 
     SweepEngine() = default;

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -228,6 +229,153 @@ TEST(SweepEngine, EffectiveThreadsClampsToBatch)
     EXPECT_EQ(e.effectiveThreads(3), 3u);
     EXPECT_EQ(e.effectiveThreads(100), 8u);
     EXPECT_EQ(e.effectiveThreads(0), 1u);
+}
+
+TEST(SweepShard, ShardsTileTheGridExactly)
+{
+    auto grid = harness::crossPoints(
+        {"compress", "li", "go"}, {"base", "FG", "FG+MLB-RET"}, 7, 1000,
+        true);
+    ASSERT_EQ(grid.size(), 9u);
+    for (size_t i = 0; i < grid.size(); ++i)
+        EXPECT_EQ(grid[i].index, i);
+
+    for (unsigned count : {1u, 2u, 3u, 4u, 9u, 12u}) {
+        std::vector<bool> covered(grid.size(), false);
+        size_t total = 0;
+        for (unsigned s = 0; s < count; ++s) {
+            auto slice = harness::shardPoints(grid, s, count);
+            for (const auto &p : slice) {
+                ASSERT_LT(p.index, grid.size());
+                // No overlap: each grid point lands in exactly one
+                // shard, with its identity fully intact.
+                EXPECT_FALSE(covered[p.index]) << "count=" << count;
+                covered[p.index] = true;
+                const auto &orig = grid[p.index];
+                EXPECT_EQ(p.workload, orig.workload);
+                EXPECT_EQ(p.model, orig.model);
+                EXPECT_EQ(p.seed, orig.seed);
+                EXPECT_EQ(p.maxInsts, orig.maxInsts);
+            }
+            total += slice.size();
+        }
+        // Union of shards == full grid.
+        EXPECT_EQ(total, grid.size()) << "count=" << count;
+        for (size_t i = 0; i < covered.size(); ++i)
+            EXPECT_TRUE(covered[i]) << "count=" << count << " i=" << i;
+    }
+}
+
+TEST(SweepShard, SliceIsStable)
+{
+    auto grid = harness::crossPoints({"compress", "li"},
+                                     {"base", "FG"}, 1, 1000, true);
+    auto a = harness::shardPoints(grid, 1, 3);
+    auto b = harness::shardPoints(grid, 1, 3);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].index, b[i].index);
+    EXPECT_THROW(harness::shardPoints(grid, 3, 3), std::invalid_argument);
+    EXPECT_THROW(harness::shardPoints(grid, 0, 0), std::invalid_argument);
+}
+
+TEST(SweepStats, DictRoundTripsToProcessorStats)
+{
+    auto points = harness::crossPoints({"compress"}, {"base"}, 1, 5000,
+                                       true);
+    points[0].scale = 0.25;
+    auto r = harness::SweepEngine::runPoint(points[0]);
+    ASSERT_TRUE(r.ok) << r.error;
+    StatDict d = harness::statsToDict(r.stats);
+    ProcessorStats back = harness::statsFromDict(d);
+    EXPECT_EQ(harness::statsToDict(back), d);
+    EXPECT_EQ(back.retiredInsts, r.stats.retiredInsts);
+    EXPECT_EQ(back.cycles, r.stats.cycles);
+
+    // A truncated dict (missing counters) is an error, never zeros.
+    StatDict partial;
+    partial.set("cycles", 1);
+    EXPECT_THROW(harness::statsFromDict(partial), std::runtime_error);
+}
+
+TEST(SweepJson, ResultsRoundTripBitExactly)
+{
+    auto points = smallPoints();
+    auto results = runWith(2, points);
+
+    std::ostringstream os;
+    harness::writeResultsJson(os, results);
+    std::istringstream is(os.str());
+    auto back = harness::readResultsJson(is);
+
+    ASSERT_EQ(back.size(), results.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(back[i].point.index, results[i].point.index);
+        EXPECT_EQ(back[i].point.label(), results[i].point.label());
+        EXPECT_EQ(back[i].ok, results[i].ok);
+        EXPECT_EQ(harness::statsToDict(back[i].stats),
+                  harness::statsToDict(results[i].stats));
+    }
+
+    // Re-serializing the parsed results reproduces the bytes.
+    std::ostringstream os2;
+    harness::writeResultsJson(os2, back);
+    EXPECT_EQ(os2.str(), os.str());
+}
+
+TEST(SweepMerge, ShardedMergeBitIdenticalToSerial)
+{
+    auto grid = smallPoints();
+
+    // Serial unsharded reference.
+    auto serial = runWith(1, grid);
+    std::ostringstream ref;
+    harness::writeMergedJson(ref, serial);
+
+    // Run each shard separately (its own engine, its own artifact),
+    // round-trip through JSON as CI does, then merge.
+    std::vector<harness::SweepResult> collected;
+    for (unsigned s = 0; s < 3; ++s) {
+        auto slice = harness::shardPoints(grid, s, 3);
+        auto results = runWith(2, slice);
+        std::ostringstream artifact;
+        harness::writeResultsJson(artifact, results);
+        std::istringstream is(artifact.str());
+        auto parsed = harness::readResultsJson(is);
+        collected.insert(collected.end(), parsed.begin(), parsed.end());
+    }
+    std::ostringstream merged;
+    harness::writeMergedJson(merged, collected);
+    EXPECT_EQ(merged.str(), ref.str());
+}
+
+TEST(SweepEngine, RetriesBumpAttemptsAndFailureStands)
+{
+    std::vector<harness::SweepPoint> points =
+        harness::crossPoints({"nonesuch"}, {"base"}, 1, 1000, true);
+    harness::SweepEngine::Options opts;
+    opts.threads = 1;
+    opts.retries = 2;
+    auto results = harness::SweepEngine(opts).run(points);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].attempts, 3u);
+}
+
+TEST(SweepEngine, OnResultSeesEveryPoint)
+{
+    auto points = smallPoints();
+    std::vector<uint64_t> seen;
+    harness::SweepEngine::Options opts;
+    opts.threads = 3;
+    opts.onResult = [&seen](const harness::SweepResult &r) {
+        seen.push_back(r.point.index);
+    };
+    harness::SweepEngine(opts).run(points);
+    ASSERT_EQ(seen.size(), points.size());
+    std::sort(seen.begin(), seen.end());
+    for (size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], i);
 }
 
 TEST(SweepEngine, ResultsJsonIsWellFormed)

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Checkpoint/resume tests: the JSON reader, the JSONL journal (append,
+ * load, truncated-tail tolerance), resume planning (skip completed,
+ * retry failed, bounded attempts, mismatch refusal), and an end-to-end
+ * interrupted sweep whose resumed output is bit-identical to an
+ * uninterrupted serial run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/stats.hh"
+#include "harness/journal.hh"
+#include "harness/sweep.hh"
+
+namespace tproc
+{
+
+namespace
+{
+
+/** Unique scratch path, removed on destruction. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &stem)
+        : p(testing::TempDir() + stem + "." +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".jsonl")
+    {
+        std::remove(p.c_str());
+    }
+
+    ~TempFile() { std::remove(p.c_str()); }
+
+    const std::string &path() const { return p; }
+
+  private:
+    std::string p;
+};
+
+std::vector<harness::SweepPoint>
+smallGrid()
+{
+    auto points = harness::crossPoints({"compress", "li"},
+                                       {"base", "FG+MLB-RET"}, 1, 15000,
+                                       /*verify=*/true);
+    for (auto &p : points)
+        p.scale = 0.25;
+    return points;
+}
+
+std::vector<harness::SweepResult>
+runSerial(const std::vector<harness::SweepPoint> &points)
+{
+    harness::SweepEngine::Options opts;
+    opts.threads = 1;
+    return harness::SweepEngine(opts).run(points);
+}
+
+} // namespace
+
+TEST(Json, ParsesScalarsArraysObjects)
+{
+    JsonValue v = parseJson(
+        " {\"a\": 1.5, \"b\": [1, -2, 3e2], \"s\": \"x\\n\\\"y\", "
+        "\"t\": true, \"f\": false, \"n\": null, \"o\": {\"k\": 7}} ");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("a").asNumber(), 1.5);
+    ASSERT_EQ(v.at("b").asArray().size(), 3u);
+    EXPECT_EQ(v.at("b").asArray()[1].asNumber(), -2);
+    EXPECT_EQ(v.at("b").asArray()[2].asNumber(), 300);
+    EXPECT_EQ(v.at("s").asString(), "x\n\"y");
+    EXPECT_TRUE(v.at("t").asBool());
+    EXPECT_FALSE(v.at("f").asBool());
+    EXPECT_TRUE(v.at("n").isNull());
+    EXPECT_EQ(v.at("o").at("k").asNumber(), 7);
+    EXPECT_EQ(v.numberOr("absent", -1), -1);
+    EXPECT_EQ(v.stringOr("absent", "d"), "d");
+    EXPECT_EQ(v.find("absent"), nullptr);
+    EXPECT_THROW(v.at("absent"), std::runtime_error);
+    EXPECT_THROW(v.at("a").asString(), std::runtime_error);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    JsonValue out;
+    EXPECT_THROW(parseJson("{\"a\": }"), std::runtime_error);
+    EXPECT_THROW(parseJson("[1, 2"), std::runtime_error);
+    EXPECT_THROW(parseJson("{\"a\": 1} trailing"), std::runtime_error);
+    EXPECT_THROW(parseJson("\"unterminated"), std::runtime_error);
+    EXPECT_THROW(parseJson("tru"), std::runtime_error);
+    EXPECT_THROW(parseJson(""), std::runtime_error);
+    EXPECT_FALSE(tryParseJson("{", out));
+    std::string err;
+    EXPECT_FALSE(tryParseJson("nope", out, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_TRUE(tryParseJson("{\"x\": 2}", out));
+    EXPECT_EQ(out.at("x").asNumber(), 2);
+}
+
+TEST(Json, StatDictRoundTripIsExact)
+{
+    StatDict d;
+    d.set("cycles", 123456789);
+    d.set("ipc", 2.3456789012345678);
+    d.set("zero", 0);
+    std::ostringstream os;
+    d.writeJson(os);
+    StatDict back = statDictFromJson(parseJson(os.str()));
+    EXPECT_EQ(back, d);
+
+    // And the re-serialization is byte-identical: merge artifacts
+    // depend on parse/print being a fixed point.
+    std::ostringstream os2;
+    back.writeJson(os2);
+    EXPECT_EQ(os2.str(), os.str());
+}
+
+TEST(SweepJournal, AppendLoadRoundTrip)
+{
+    auto grid = smallGrid();
+    auto results = runSerial(grid);
+    ASSERT_EQ(results.size(), 4u);
+
+    TempFile file("journal_roundtrip");
+    {
+        harness::SweepJournal j(file.path());
+        for (const auto &r : results)
+            j.append(r);
+    }
+
+    size_t skipped = 9;
+    auto records = harness::SweepJournal::load(file.path(), &skipped);
+    EXPECT_EQ(skipped, 0u);
+    ASSERT_EQ(records.size(), results.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(records[i].point.index, results[i].point.index);
+        EXPECT_EQ(records[i].point.label(), results[i].point.label());
+        EXPECT_EQ(records[i].ok, results[i].ok);
+        EXPECT_EQ(records[i].attempts, results[i].attempts);
+        EXPECT_EQ(harness::statsToDict(records[i].stats),
+                  harness::statsToDict(results[i].stats));
+    }
+}
+
+TEST(SweepJournal, MissingFileIsEmptyAndTruncatedTailIsDropped)
+{
+    size_t skipped = 9;
+    auto records =
+        harness::SweepJournal::load("/nonexistent/journal", &skipped);
+    EXPECT_TRUE(records.empty());
+    EXPECT_EQ(skipped, 0u);
+
+    auto grid = smallGrid();
+    auto results = runSerial(grid);
+    TempFile file("journal_truncated");
+    {
+        harness::SweepJournal j(file.path());
+        j.append(results[0]);
+        j.append(results[1]);
+    }
+    // Simulate a kill mid-write: chop the final record in half.
+    std::string text;
+    {
+        std::ifstream in(file.path());
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+    {
+        std::ofstream out(file.path(), std::ios::trunc);
+        out << text.substr(0, text.size() - 40);
+    }
+
+    records = harness::SweepJournal::load(file.path(), &skipped);
+    EXPECT_EQ(skipped, 1u);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].point.index, results[0].point.index);
+}
+
+TEST(SweepJournal, PlanResumeSkipsRetriesAndBounds)
+{
+    auto grid = smallGrid();
+    auto results = runSerial(grid);
+
+    // Journal: point 0 completed; point 1 failed once; point 2 failed
+    // with its attempt budget already spent; point 3 never ran.
+    std::vector<harness::SweepResult> journal;
+    journal.push_back(results[0]);
+    harness::SweepResult fail1 = results[1];
+    fail1.ok = false;
+    fail1.error = "synthetic";
+    fail1.attempts = 1;
+    journal.push_back(fail1);
+    harness::SweepResult fail2 = results[2];
+    fail2.ok = false;
+    fail2.error = "synthetic";
+    fail2.attempts = 2;
+    journal.push_back(fail2);
+
+    auto plan = harness::planResume(grid, journal, /*maxAttempts=*/2);
+    EXPECT_EQ(plan.completed, 1u);
+    EXPECT_EQ(plan.retried, 1u);
+    EXPECT_EQ(plan.exhausted, 1u);
+    ASSERT_EQ(plan.reused.size(), 2u);
+    ASSERT_EQ(plan.pending.size(), 2u);
+    EXPECT_EQ(plan.pending[0].index, 1u);
+    EXPECT_EQ(plan.pending[1].index, 3u);
+
+    // Repeated failure records accumulate attempts: two one-attempt
+    // failures exhaust a budget of 2.
+    journal[1].attempts = 1;
+    journal.push_back(fail1);
+    plan = harness::planResume(grid, journal, 2);
+    EXPECT_EQ(plan.retried, 0u);
+    EXPECT_EQ(plan.exhausted, 2u);
+
+    // A journal from a different sweep (same index, different seed) is
+    // refused outright.
+    auto other = smallGrid();
+    for (auto &p : other)
+        p.seed = 99;
+    EXPECT_THROW(harness::planResume(other, journal, 2),
+                 std::runtime_error);
+
+    // Records outside this slice (other shards) are simply ignored.
+    auto slice = harness::shardPoints(grid, 0, 4);
+    ASSERT_EQ(slice.size(), 1u);
+    plan = harness::planResume(slice, journal, 2);
+    EXPECT_EQ(plan.completed, 1u);
+    EXPECT_EQ(plan.pending.size(), 0u);
+}
+
+TEST(SweepJournal, InterruptedSweepResumesBitIdentically)
+{
+    auto grid = smallGrid();
+
+    // Uninterrupted serial reference artifact.
+    auto reference = runSerial(grid);
+    std::ostringstream ref;
+    harness::writeMergedJson(ref, reference);
+
+    // "Interrupted" run: only a prefix of the grid got journaled before
+    // the (simulated) kill.
+    TempFile file("journal_resume");
+    {
+        harness::SweepJournal j(file.path());
+        std::vector<harness::SweepPoint> prefix(grid.begin(),
+                                                grid.begin() + 2);
+        harness::SweepEngine::Options opts;
+        opts.threads = 2;
+        opts.onResult = [&j](const harness::SweepResult &r) {
+            j.append(r);
+        };
+        harness::SweepEngine(opts).run(prefix);
+    }
+
+    // Resume: plan from the journal, run only what is missing, combine.
+    auto records = harness::SweepJournal::load(file.path());
+    ASSERT_EQ(records.size(), 2u);
+    auto plan = harness::planResume(grid, records, 2);
+    EXPECT_EQ(plan.completed, 2u);
+    ASSERT_EQ(plan.pending.size(), 2u);
+
+    harness::SweepJournal j(file.path());
+    harness::SweepEngine::Options opts;
+    opts.threads = 2;
+    opts.onResult = [&j](const harness::SweepResult &r) { j.append(r); };
+    auto rest = harness::SweepEngine(opts).run(plan.pending);
+
+    auto combined = plan.reused;
+    combined.insert(combined.end(), rest.begin(), rest.end());
+    std::ostringstream merged;
+    harness::writeMergedJson(merged, combined);
+    EXPECT_EQ(merged.str(), ref.str());
+
+    // The journal now covers the whole grid: a second resume has
+    // nothing left to run.
+    records = harness::SweepJournal::load(file.path());
+    EXPECT_EQ(records.size(), grid.size());
+    plan = harness::planResume(grid, records, 2);
+    EXPECT_EQ(plan.completed, grid.size());
+    EXPECT_TRUE(plan.pending.empty());
+}
+
+} // namespace tproc

@@ -4,25 +4,43 @@
  * across worker threads via the harness SweepEngine, prints a result
  * table, and optionally writes the full per-point stats as JSON.
  *
- * Usage:
+ * Sweep usage:
  *   tproc-sweep [--workloads=a,b,...] [--models=a,b,...] [--insts=N]
- *               [--seed=S] [--threads=T] [--json=FILE] [--no-verify]
- *               [--quiet]
+ *               [--seed=S] [--threads=T] [--shard=I/N] [--resume=FILE]
+ *               [--retries=R] [--json=FILE] [--merged-json=FILE]
+ *               [--no-verify] [--quiet]
+ *
+ * Merge usage:
+ *   tproc-sweep merge [--out=FILE] shard0.json shard1.json ...
+ *
+ * --shard=I/N runs the stable 1/N slice of the point grid owned by
+ * 0-based shard I, with the same per-point indices and seeds as the
+ * unsharded run. --resume=FILE journals every finished point to FILE
+ * (JSON lines, flushed per record) and, when FILE already has records,
+ * skips completed points and retries failed ones — a failure whose
+ * journaled attempts already reached 1 + --retries stands instead of
+ * being re-run.
+ * `merge` folds shard artifacts (--json files) into one merged JSON
+ * that is bit-identical to --merged-json of a serial unsharded run.
  *
  * Defaults: all eight workloads, models base + FG+MLB-RET, 400000
- * instructions, seed 1, hardware-concurrency threads, progress on.
- * Exit status is the number of failed points (capped at 125).
+ * instructions, seed 1, hardware-concurrency threads, 1 retry,
+ * progress on. Exit status is the number of ultimately-failed points
+ * (capped at 125); 126 flags a usage or artifact error.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
 #include "core/runner.hh"
+#include "harness/journal.hh"
 #include "harness/sweep.hh"
 #include "workloads/workloads.hh"
 
@@ -62,7 +80,148 @@ usage(std::ostream &os)
 {
     os << "usage: tproc-sweep [--workloads=a,b,...] [--models=a,b,...]\n"
           "                   [--insts=N] [--seed=S] [--threads=T]\n"
-          "                   [--json=FILE] [--no-verify] [--quiet]\n";
+          "                   [--shard=I/N] [--resume=FILE] "
+          "[--retries=R]\n"
+          "                   [--json=FILE] [--merged-json=FILE]\n"
+          "                   [--no-verify] [--quiet]\n"
+          "       tproc-sweep merge [--out=FILE] a.json b.json ...\n";
+}
+
+bool
+parseShard(const std::string &v, unsigned &shard, unsigned &count)
+{
+    // Both components must be pure decimal: a typo like --shard=x/3
+    // must not silently run shard 0.
+    size_t slash = v.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= v.size()) {
+        return false;
+    }
+    const std::string i_str = v.substr(0, slash);
+    const std::string n_str = v.substr(slash + 1);
+    if (i_str.find_first_not_of("0123456789") != std::string::npos ||
+        n_str.find_first_not_of("0123456789") != std::string::npos) {
+        return false;
+    }
+    shard = static_cast<unsigned>(std::strtoul(i_str.c_str(), nullptr,
+                                               10));
+    count = static_cast<unsigned>(std::strtoul(n_str.c_str(), nullptr,
+                                               10));
+    return count > 0 && shard < count;
+}
+
+/** Failed-point recap so CI logs show what broke without scrollback. */
+int
+printFailureSummary(const std::vector<harness::SweepResult> &results)
+{
+    int failed = 0;
+    for (const auto &r : results)
+        failed += r.ok ? 0 : 1;
+    if (!failed)
+        return 0;
+    std::cerr << "\ntproc-sweep: " << failed << " of " << results.size()
+              << " points failed";
+    std::cerr << ":\n";
+    for (const auto &r : results) {
+        if (r.ok)
+            continue;
+        std::cerr << "  point " << r.point.index << " "
+                  << r.point.label() << " (seed " << r.point.seed
+                  << "): " << r.error << "  [" << r.attempts
+                  << (r.attempts == 1 ? " attempt]" : " attempts]")
+                  << '\n';
+    }
+    return failed;
+}
+
+int
+mergeMain(int argc, char **argv)
+{
+    std::string out_path;
+    std::vector<std::string> inputs;
+    for (int i = 2; i < argc; ++i) {
+        std::string v;
+        if (parseArg(argv[i], "--out", v)) {
+            out_path = v;
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            usage(std::cout);
+            return 0;
+        } else if (argv[i][0] == '-') {
+            std::cerr << "tproc-sweep merge: unknown argument '"
+                      << argv[i] << "'\n";
+            usage(std::cerr);
+            return 126;
+        } else {
+            inputs.push_back(argv[i]);
+        }
+    }
+    if (inputs.empty()) {
+        std::cerr << "tproc-sweep merge: no input files\n";
+        usage(std::cerr);
+        return 126;
+    }
+
+    std::vector<harness::SweepResult> all;
+    for (const auto &path : inputs) {
+        std::ifstream in(path);
+        if (!in) {
+            std::cerr << "tproc-sweep merge: cannot read " << path
+                      << '\n';
+            return 126;
+        }
+        try {
+            auto shard = harness::readResultsJson(in);
+            all.insert(all.end(), shard.begin(), shard.end());
+        } catch (const std::exception &e) {
+            std::cerr << "tproc-sweep merge: " << path << ": "
+                      << e.what() << '\n';
+            return 126;
+        }
+    }
+
+    // Shards must tile the grid: a duplicate index means two artifacts
+    // claim the same point (merging would double-count it), a gap means
+    // a shard is missing (the merge would silently under-report).
+    std::vector<uint64_t> indices;
+    indices.reserve(all.size());
+    for (const auto &r : all)
+        indices.push_back(r.point.index);
+    std::sort(indices.begin(), indices.end());
+    for (size_t i = 1; i < indices.size(); ++i) {
+        if (indices[i] == indices[i - 1]) {
+            std::cerr << "tproc-sweep merge: point index " << indices[i]
+                      << " appears in more than one input\n";
+            return 126;
+        }
+    }
+    for (size_t i = 0; i < indices.size(); ++i) {
+        if (indices[i] != i) {
+            std::cerr << "tproc-sweep merge: warning: point index " << i
+                      << " missing (inputs do not tile a full grid)\n";
+            break;
+        }
+    }
+
+    std::ostream *os = &std::cout;
+    std::ofstream out_file;
+    if (!out_path.empty()) {
+        out_file.open(out_path);
+        if (!out_file) {
+            std::cerr << "tproc-sweep merge: cannot write " << out_path
+                      << '\n';
+            return 126;
+        }
+        os = &out_file;
+    }
+    harness::writeMergedJson(*os, all);
+    size_t failed = 0;
+    for (const auto &r : all)
+        failed += r.ok ? 0 : 1;
+    std::cerr << "merged " << inputs.size() << " artifacts, "
+              << all.size() - failed << "/" << all.size()
+              << " points ok\n";
+    return failed > 125 ? 125 : static_cast<int>(failed);
 }
 
 } // namespace
@@ -70,14 +229,22 @@ usage(std::ostream &os)
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "merge") == 0)
+        return mergeMain(argc, argv);
+
     std::vector<std::string> workloads = workloadNames();
     std::vector<std::string> models = {"base", "FG+MLB-RET"};
     uint64_t insts = 400000;
     uint64_t seed = 1;
     unsigned threads = 0;
+    unsigned retries = 1;
+    unsigned shard = 0;
+    unsigned shard_count = 0;
     bool verify = true;
     bool quiet = false;
     std::string json_path;
+    std::string merged_path;
+    std::string resume_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string v;
@@ -92,8 +259,21 @@ main(int argc, char **argv)
         } else if (parseArg(argv[i], "--threads", v)) {
             threads = static_cast<unsigned>(std::strtoul(v.c_str(),
                                                          nullptr, 10));
+        } else if (parseArg(argv[i], "--retries", v)) {
+            retries = static_cast<unsigned>(std::strtoul(v.c_str(),
+                                                         nullptr, 10));
+        } else if (parseArg(argv[i], "--shard", v)) {
+            if (!parseShard(v, shard, shard_count)) {
+                std::cerr << "tproc-sweep: bad --shard '" << v
+                          << "' (want I/N with 0 <= I < N)\n";
+                return 126;
+            }
+        } else if (parseArg(argv[i], "--resume", v)) {
+            resume_path = v;
         } else if (parseArg(argv[i], "--json", v)) {
             json_path = v;
+        } else if (parseArg(argv[i], "--merged-json", v)) {
+            merged_path = v;
         } else if (std::strcmp(argv[i], "--no-verify") == 0) {
             verify = false;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -110,36 +290,97 @@ main(int argc, char **argv)
         }
     }
 
-    auto points =
+    auto grid =
         harness::crossPoints(workloads, models, seed, insts, verify);
+    auto points =
+        shard_count ? harness::shardPoints(grid, shard, shard_count)
+                    : grid;
+
+    // Resume: reuse journaled work, run only what is missing or worth
+    // retrying; every newly finished point is journaled as it lands.
+    std::vector<harness::SweepResult> reused;
+    std::unique_ptr<harness::SweepJournal> journal;
+    if (!resume_path.empty()) {
+        size_t skipped = 0;
+        auto records = harness::SweepJournal::load(resume_path, &skipped);
+        if (skipped) {
+            std::cerr << "tproc-sweep: dropped " << skipped
+                      << " unreadable journal line"
+                      << (skipped == 1 ? "" : "s")
+                      << " (interrupted write?)\n";
+        }
+        harness::ResumePlan plan;
+        try {
+            plan = harness::planResume(points, records, retries + 1);
+        } catch (const std::exception &e) {
+            std::cerr << "tproc-sweep: " << e.what() << '\n';
+            return 126;
+        }
+        if (!records.empty()) {
+            std::cerr << "resume: reusing " << plan.completed
+                      << " completed point"
+                      << (plan.completed == 1 ? "" : "s") << ", retrying "
+                      << plan.retried << ", keeping " << plan.exhausted
+                      << " exhausted failure"
+                      << (plan.exhausted == 1 ? "" : "s") << ", "
+                      << plan.pending.size() << " to run\n";
+        }
+        reused = std::move(plan.reused);
+        points = std::move(plan.pending);
+        try {
+            journal =
+                std::make_unique<harness::SweepJournal>(resume_path);
+        } catch (const std::exception &e) {
+            std::cerr << "tproc-sweep: " << e.what() << '\n';
+            return 126;
+        }
+    }
 
     harness::SweepEngine::Options opts;
     opts.threads = threads;
     opts.progress = !quiet;
+    opts.retries = retries;
+    if (journal) {
+        opts.onResult = [&journal](const harness::SweepResult &r) {
+            journal->append(r);
+        };
+    }
     harness::SweepEngine engine(opts);
 
     if (!quiet) {
-        std::cerr << "sweep: " << points.size() << " points ("
-                  << workloads.size() << " workloads x " << models.size()
-                  << " models), " << engine.effectiveThreads(points.size())
-                  << " threads, " << insts << " insts/point, seed " << seed
-                  << (verify ? ", verified" : "") << "\n";
+        std::cerr << "sweep: " << points.size() << " points";
+        if (shard_count) {
+            std::cerr << " (shard " << shard << "/" << shard_count
+                      << " of " << grid.size() << ")";
+        } else {
+            std::cerr << " (" << workloads.size() << " workloads x "
+                      << models.size() << " models)";
+        }
+        std::cerr << ", " << engine.effectiveThreads(points.size())
+                  << " threads, " << insts << " insts/point, seed "
+                  << seed << (verify ? ", verified" : "") << "\n";
     }
 
     auto results = engine.run(points);
+    results.insert(results.end(), reused.begin(), reused.end());
+    std::sort(results.begin(), results.end(),
+              [](const harness::SweepResult &a,
+                 const harness::SweepResult &b) {
+                  return a.point.index < b.point.index;
+              });
 
     TextTable table;
     table.header({"point", "result"});
-    int failed = 0;
     for (const auto &r : results) {
         if (r.ok) {
             table.row({r.point.label(), statsSummaryLine(r.stats)});
         } else {
             table.row({r.point.label(), "FAILED: " + r.error});
-            ++failed;
         }
     }
     table.print(std::cout);
+
+    int failed = printFailureSummary(results);
 
     StatDict merged = harness::mergeResults(results);
     std::cout << "\nmerged: " << results.size() - failed << "/"
@@ -151,12 +392,24 @@ main(int argc, char **argv)
     if (!json_path.empty()) {
         std::ofstream out(json_path);
         if (!out) {
-            std::cerr << "tproc-sweep: cannot write " << json_path << '\n';
+            std::cerr << "tproc-sweep: cannot write " << json_path
+                      << '\n';
             return 126;
         }
         harness::writeResultsJson(out, results);
         if (!quiet)
             std::cerr << "wrote " << json_path << '\n';
+    }
+    if (!merged_path.empty()) {
+        std::ofstream out(merged_path);
+        if (!out) {
+            std::cerr << "tproc-sweep: cannot write " << merged_path
+                      << '\n';
+            return 126;
+        }
+        harness::writeMergedJson(out, results);
+        if (!quiet)
+            std::cerr << "wrote " << merged_path << '\n';
     }
 
     return failed > 125 ? 125 : failed;
