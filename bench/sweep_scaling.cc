@@ -2,16 +2,23 @@
  * @file
  * Sweep-engine scaling micro-benchmark: run the same point batch
  * serially (1 thread) and in parallel (TPROC_BENCH_THREADS or hardware
- * concurrency), check the results are bit-identical, and record
- * wall-clock, throughput, and speedup to a JSON artifact for CI to
- * archive (TPROC_SWEEP_JSON, default sweep_scaling.json).
+ * concurrency), check the results are bit-identical, then run the
+ * batch again in capture-once/replay-many mode (record each workload's
+ * architectural trace on first use, replay it for every other point)
+ * and check that replay is bit-identical to — and faster than —
+ * regenerating every point from scratch. Wall-clock, throughput, and
+ * speedups land in a JSON artifact for CI to archive
+ * (TPROC_SWEEP_JSON, default sweep_scaling.json).
  */
 
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <thread>
+
+#include <unistd.h>
 
 #include "bench/common.hh"
 
@@ -31,12 +38,28 @@ timedRun(harness::SweepEngine &engine,
                                          t0).count();
 }
 
+bool
+sameStats(const std::vector<harness::SweepResult> &a,
+          const std::vector<harness::SweepResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].ok != b[i].ok ||
+            harness::statsToDict(a[i].stats) !=
+                harness::statsToDict(b[i].stats)) {
+            return false;
+        }
+    }
+    return true;
+}
+
 } // namespace
 
 int
 main()
 {
-    bench::printHeaderNote("SWEEP SCALING: serial vs parallel engine");
+    bench::printHeaderNote("SWEEP SCALING: serial vs parallel vs replay");
 
     auto points = harness::crossPoints(
         workloadNames(), {"base", "FG+MLB-RET"}, bench::benchSeed(),
@@ -74,35 +97,67 @@ main()
     std::vector<harness::SweepResult> par_results;
     double par_s = timedRun(parallel, points, par_results);
 
+    // Replay passes: same grid, fed from recorded traces. The cold
+    // pass pays the one-time captures (record on first use); the warm
+    // pass is the steady state every later sweep over the same
+    // workloads enjoys.
+    const std::filesystem::path trace_dir =
+        std::filesystem::temp_directory_path() /
+        ("tproc_bench_traces." + std::to_string(::getpid()));
+    auto replay_points = points;
+    for (auto &p : replay_points)
+        p.traceDir = trace_dir.string();
+
+    std::cerr << "  replay pass, cold (captures traces)...\n";
+    std::vector<harness::SweepResult> replay_cold_results;
+    double replay_cold_s =
+        timedRun(parallel, replay_points, replay_cold_results);
+
+    std::cerr << "  replay pass, warm (traces on disk)...\n";
+    std::vector<harness::SweepResult> replay_results;
+    double replay_s = timedRun(parallel, replay_points, replay_results);
+
+    std::error_code ec;
+    std::filesystem::remove_all(trace_dir, ec);
+
     // The engine's determinism contract: identical per-point stats no
-    // matter how many workers ran the batch.
-    bool identical = serial_results.size() == par_results.size();
+    // matter how many workers ran the batch — or whether the points
+    // were regenerated live or replayed from trace files.
+    bool identical = sameStats(serial_results, par_results);
+    bool replay_identical = sameStats(serial_results, replay_results) &&
+        sameStats(serial_results, replay_cold_results);
+    // Failures are counted from the serial pass only (the canonical
+    // reference); a pass-specific failure elsewhere shows up as an ok
+    // mismatch in the identity checks above.
     int failed = 0;
     uint64_t total_insts = 0;
-    for (size_t i = 0; i < serial_results.size(); ++i) {
-        const auto &a = serial_results[i];
-        if (!a.ok)
+    for (const auto &r : serial_results) {
+        if (!r.ok)
             ++failed;
-        total_insts += a.stats.retiredInsts;
-        if (i < par_results.size()) {
-            const auto &b = par_results[i];
-            if (a.ok != b.ok || harness::statsToDict(a.stats) !=
-                                    harness::statsToDict(b.stats))
-                identical = false;
-        }
+        total_insts += r.stats.retiredInsts;
     }
 
     double speedup = par_s > 0.0 ? serial_s / par_s : 0.0;
+    double replay_speedup = replay_s > 0.0 ? par_s / replay_s : 0.0;
     TextTable t;
     t.header({"pass", "threads", "wall (s)", "Minsts/s"});
     t.row({"serial", "1", fmtDouble(serial_s, 2),
            fmtDouble(total_insts / serial_s / 1e6, 2)});
     t.row({"parallel", std::to_string(nthreads), fmtDouble(par_s, 2),
            fmtDouble(total_insts / par_s / 1e6, 2)});
+    t.row({"replay (cold)", std::to_string(nthreads),
+           fmtDouble(replay_cold_s, 2),
+           fmtDouble(total_insts / replay_cold_s / 1e6, 2)});
+    t.row({"replay (warm)", std::to_string(nthreads),
+           fmtDouble(replay_s, 2),
+           fmtDouble(total_insts / replay_s / 1e6, 2)});
     t.print(std::cout);
-    std::cout << "\nspeedup " << fmtDouble(speedup, 2) << "x, results "
-              << (identical ? "bit-identical" : "DIVERGED") << ", "
-              << failed << " failed points\n";
+    std::cout << "\nspeedup " << fmtDouble(speedup, 2)
+              << "x parallel-vs-serial, " << fmtDouble(replay_speedup, 2)
+              << "x replay-vs-regenerate, results "
+              << (identical && replay_identical ? "bit-identical"
+                                                : "DIVERGED")
+              << ", " << failed << " failed points\n";
 
     const char *path = std::getenv("TPROC_SWEEP_JSON");
     if (!path)
@@ -114,11 +169,18 @@ main()
         << "  \"total_retired_insts\": " << total_insts << ",\n"
         << "  \"serial_seconds\": " << jsonNumber(serial_s) << ",\n"
         << "  \"parallel_seconds\": " << jsonNumber(par_s) << ",\n"
+        << "  \"replay_cold_seconds\": " << jsonNumber(replay_cold_s)
+        << ",\n"
+        << "  \"replay_seconds\": " << jsonNumber(replay_s) << ",\n"
         << "  \"parallel_threads\": " << nthreads << ",\n"
         << "  \"hardware_concurrency\": "
         << std::thread::hardware_concurrency() << ",\n"
         << "  \"speedup\": " << jsonNumber(speedup) << ",\n"
+        << "  \"replay_speedup\": " << jsonNumber(replay_speedup)
+        << ",\n"
         << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
+        << "  \"replay_identical\": "
+        << (replay_identical ? "true" : "false") << ",\n"
         << "  \"failed_points\": " << failed << ",\n"
         << "  \"results\": ";
     harness::writeResultsJson(out, par_results);
@@ -126,5 +188,7 @@ main()
     std::cerr << "  wrote " << path << '\n';
 
     // Divergence or failures make the artifact (and exit status) red.
-    return identical ? (failed ? 1 : 0) : 2;
+    if (!identical || !replay_identical)
+        return 2;
+    return failed ? 1 : 0;
 }

@@ -32,7 +32,8 @@ traceRecovery()
 
 } // anonymous namespace
 
-Processor::Processor(const Program &prog_, const ProcessorConfig &cfg_)
+Processor::Processor(const Program &prog_, const ProcessorConfig &cfg_,
+                     std::unique_ptr<ArchSource> golden_source)
     : prog(prog_), cfg(cfg_), frontend(prog_, cfg),
       dcache(cfg.dcache),
       arb([this](TraceUid uid) { return orderOf(uid); }),
@@ -41,8 +42,10 @@ Processor::Processor(const Program &prog_, const ProcessorConfig &cfg_)
       dispatchExpectedPc(prog_.entry)
 {
     mem.load(prog.dataInit);
-    if (cfg.verifyRetirement)
-        golden = std::make_unique<Emulator>(prog);
+    if (cfg.verifyRetirement) {
+        golden = golden_source ? std::move(golden_source)
+                               : std::make_unique<Emulator>(prog);
+    }
     for (int i = cfg.numPEs - 1; i >= 0; --i)
         freePes.push_back(i);
 }

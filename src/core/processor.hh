@@ -111,7 +111,14 @@ struct ProcessorStats
 class Processor
 {
   public:
-    Processor(const Program &prog_, const ProcessorConfig &cfg_);
+    /**
+     * @param golden_source the architectural stream retirement is
+     * verified against when cfg.verifyRetirement is set; defaults to a
+     * live Emulator over prog_. A replay::ReplaySource here runs the
+     * whole simulation off a recorded trace instead.
+     */
+    Processor(const Program &prog_, const ProcessorConfig &cfg_,
+              std::unique_ptr<ArchSource> golden_source = nullptr);
     ~Processor();
 
     /** Run until HALT retires (or limits hit). @return final stats. */
@@ -230,7 +237,7 @@ class Processor
     RenameMap map;          //!< speculative map at the dispatch point
     RenameMap retireMap;    //!< architectural map at retirement
     SparseMemory mem;       //!< committed memory state
-    std::unique_ptr<Emulator> golden;
+    std::unique_ptr<ArchSource> golden;
 
     /** The linked-list window: trace uids in logical (program) order. */
     std::vector<TraceUid> window;

@@ -18,9 +18,9 @@ runModel(const Program &prog, std::string_view model, uint64_t max_insts,
 
 ProcessorStats
 runConfig(const Program &prog, const ProcessorConfig &cfg,
-          uint64_t max_insts)
+          uint64_t max_insts, std::unique_ptr<ArchSource> golden)
 {
-    Processor p(prog, cfg);
+    Processor p(prog, cfg, std::move(golden));
     return p.run(max_insts);
 }
 

@@ -25,9 +25,14 @@ ProcessorStats runModel(const Program &prog, std::string_view model,
                         uint64_t max_insts = UINT64_MAX,
                         bool verify = true);
 
-/** As runModel but with an explicit configuration. */
+/**
+ * As runModel but with an explicit configuration. An optional golden
+ * ArchSource (e.g. a replay::ReplaySource over a recorded trace)
+ * replaces the live Emulator on the retirement-verification port.
+ */
 ProcessorStats runConfig(const Program &prog, const ProcessorConfig &cfg,
-                         uint64_t max_insts = UINT64_MAX);
+                         uint64_t max_insts = UINT64_MAX,
+                         std::unique_ptr<ArchSource> golden = nullptr);
 
 /** Print a one-stop summary of a run. */
 void printStats(std::ostream &os, const std::string &title,

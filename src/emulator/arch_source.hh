@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The architectural-execution interface: a stream of per-instruction
+ * StepResults in program (retirement) order. The timing processor
+ * verifies retirement against any ArchSource; the live Emulator and the
+ * trace-file ReplaySource are interchangeable behind it.
+ */
+
+#ifndef TPROC_EMULATOR_ARCH_SOURCE_HH
+#define TPROC_EMULATOR_ARCH_SOURCE_HH
+
+#include "isa/instruction.hh"
+
+namespace tproc
+{
+
+/** Result of executing one instruction architecturally. */
+struct StepResult
+{
+    Addr pc = 0;
+    Instruction inst;
+    Addr nextPc = 0;
+    bool taken = false;         //!< branch/jump transferred control
+    bool hasDest = false;
+    int64_t destValue = 0;
+    bool isMem = false;
+    Addr memAddr = 0;
+    int64_t memValue = 0;       //!< value loaded or stored
+    bool halted = false;
+
+    bool
+    operator==(const StepResult &o) const
+    {
+        return pc == o.pc && inst == o.inst && nextPc == o.nextPc &&
+            taken == o.taken && hasDest == o.hasDest &&
+            destValue == o.destValue && isMem == o.isMem &&
+            memAddr == o.memAddr && memValue == o.memValue &&
+            halted == o.halted;
+    }
+
+    bool operator!=(const StepResult &o) const { return !(*this == o); }
+};
+
+/**
+ * Producer of the architectural instruction stream. step() yields the
+ * next retired instruction's effects; calling it after halted() is a
+ * simulator bug (panic), exactly like stepping the live emulator past
+ * HALT.
+ */
+class ArchSource
+{
+  public:
+    virtual ~ArchSource() = default;
+
+    /** Execute (or reproduce) the next instruction. */
+    virtual StepResult step() = 0;
+
+    /** True once the stream has delivered its HALT. */
+    virtual bool halted() const = 0;
+
+    /** Instructions delivered so far. */
+    virtual uint64_t instCount() const = 0;
+};
+
+} // namespace tproc
+
+#endif // TPROC_EMULATOR_ARCH_SOURCE_HH

@@ -135,6 +135,8 @@ Emulator::step()
     regs[regZero] = 0;
     curPc = res.nextPc;
     ++icount;
+    if (observer)
+        observer(res);
     return res;
 }
 

@@ -10,8 +10,10 @@
 #define TPROC_EMULATOR_EMULATOR_HH
 
 #include <array>
+#include <functional>
 #include <unordered_map>
 
+#include "emulator/arch_source.hh"
 #include "program/program.hh"
 
 namespace tproc
@@ -50,35 +52,24 @@ int64_t evalAlu(Opcode op, int64_t a, int64_t b, int64_t imm);
 /** Conditional branch outcome. */
 bool evalBranch(Opcode op, int64_t a, int64_t b);
 
-/** Result of executing one instruction architecturally. */
-struct StepResult
-{
-    Addr pc = 0;
-    Instruction inst;
-    Addr nextPc = 0;
-    bool taken = false;         //!< branch/jump transferred control
-    bool hasDest = false;
-    int64_t destValue = 0;
-    bool isMem = false;
-    Addr memAddr = 0;
-    int64_t memValue = 0;       //!< value loaded or stored
-    bool halted = false;
-};
-
 /**
  * Architectural state + single-step execution.
  */
-class Emulator
+class Emulator : public ArchSource
 {
   public:
+    /** Called after every step with the step's result (capture hook). */
+    using StepObserver = std::function<void(const StepResult &)>;
+
     explicit Emulator(const Program &prog_);
 
     /** Execute the instruction at the current pc. */
-    StepResult step();
+    StepResult step() override;
 
-    bool halted() const { return isHalted; }
+    bool halted() const override { return isHalted; }
+    uint64_t instCount() const override { return icount; }
+
     Addr pc() const { return curPc; }
-    uint64_t instCount() const { return icount; }
 
     int64_t readReg(ArchReg r) const { return regs[r]; }
     const SparseMemory &memory() const { return mem; }
@@ -87,6 +78,9 @@ class Emulator
     /** Run until HALT or max_insts, returning instructions executed. */
     uint64_t run(uint64_t max_insts);
 
+    /** Install the capture hook (empty observer uninstalls it). */
+    void setStepObserver(StepObserver obs) { observer = std::move(obs); }
+
   private:
     const Program &prog;
     std::array<int64_t, numArchRegs> regs{};
@@ -94,6 +88,7 @@ class Emulator
     Addr curPc;
     bool isHalted = false;
     uint64_t icount = 0;
+    StepObserver observer;
 };
 
 } // namespace tproc

@@ -11,6 +11,8 @@
 
 #include "common/logging.hh"
 #include "core/runner.hh"
+#include "replay/replay_source.hh"
+#include "replay/trace_store.hh"
 #include "workloads/workloads.hh"
 
 namespace tproc::harness
@@ -366,7 +368,6 @@ SweepEngine::runPoint(const SweepPoint &p)
     auto t0 = std::chrono::steady_clock::now();
     try {
         ScopedErrorCapture capture;
-        Workload w = makeWorkload(p.workload, p.seed, p.scale);
         ProcessorConfig cfg;
         if (p.useConfig) {
             cfg = p.config;
@@ -374,7 +375,24 @@ SweepEngine::runPoint(const SweepPoint &p)
             cfg = ProcessorConfig::forModel(p.model);
             cfg.verifyRetirement = p.verify;
         }
-        r.stats = runConfig(w.program, cfg, p.maxInsts);
+        if (!p.traceDir.empty()) {
+            // Replay mode: the trace file supplies both the program
+            // and the architectural stream; the timing simulation
+            // itself is identical to a live run.
+            replay::TraceStore store(p.traceDir);
+            auto ensured =
+                store.ensure(p.workload, p.seed, p.scale, p.maxInsts);
+            std::unique_ptr<ArchSource> golden;
+            if (cfg.verifyRetirement) {
+                golden = std::make_unique<replay::ReplaySource>(
+                    ensured.reader);
+            }
+            r.stats = runConfig(ensured.reader->program(), cfg,
+                                p.maxInsts, std::move(golden));
+        } else {
+            Workload w = makeWorkload(p.workload, p.seed, p.scale);
+            r.stats = runConfig(w.program, cfg, p.maxInsts);
+        }
         r.ok = true;
     } catch (const std::exception &e) {
         r.error = e.what();

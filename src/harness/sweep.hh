@@ -52,6 +52,17 @@ struct SweepPoint
      *  explicit config carries its own verifyRetirement flag). */
     bool verify = true;
 
+    /**
+     * Capture-once/replay-many: when set, the point runs off a
+     * recorded trace in this directory (see replay::TraceStore) — the
+     * first point to touch a (workload, seed, scale, maxInsts)
+     * identity records it, every other point replays the file instead
+     * of regenerating the workload and re-running the architectural
+     * execution. Stats are bit-identical to a live run by contract
+     * (gtest- and CI-enforced). Empty = live emulation.
+     */
+    std::string traceDir;
+
     /** Display label; label() falls back to "workload/model". */
     std::string labelOverride;
 

@@ -1,0 +1,38 @@
+#include "replay/replay_source.hh"
+
+#include "common/logging.hh"
+
+namespace tproc::replay
+{
+
+std::shared_ptr<const TraceReader>
+ReplaySource::checked(std::shared_ptr<const TraceReader> r)
+{
+    panic_if(!r, "ReplaySource needs a TraceReader");
+    return r;
+}
+
+ReplaySource::ReplaySource(std::shared_ptr<const TraceReader> reader_)
+    : reader(checked(std::move(reader_))), cursor(*reader)
+{
+}
+
+StepResult
+ReplaySource::step()
+{
+    panic_if(isHalted, "ReplaySource::step after halt");
+    StepResult s;
+    if (!cursor.next(s)) {
+        panic("replay: trace %s exhausted after %llu steps without HALT "
+              "(captured with cap %llu; re-record with a higher "
+              "instruction limit)",
+              reader->meta().workload.c_str(),
+              static_cast<unsigned long long>(cursor.stepsRead()),
+              static_cast<unsigned long long>(reader->meta().captureCap));
+    }
+    if (s.halted)
+        isHalted = true;
+    return s;
+}
+
+} // namespace tproc::replay

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ReplaySource: an ArchSource that reproduces a recorded architectural
+ * execution from a trace file. Drop-in for the live Emulator on the
+ * timing processor's retirement-verification port — a full simulation
+ * runs bit-identically off the file.
+ */
+
+#ifndef TPROC_REPLAY_REPLAY_SOURCE_HH
+#define TPROC_REPLAY_REPLAY_SOURCE_HH
+
+#include <memory>
+
+#include "emulator/arch_source.hh"
+#include "replay/trace_file.hh"
+
+namespace tproc::replay
+{
+
+/**
+ * Streams a TraceReader's step records through the ArchSource
+ * interface. The parsed trace is shared and immutable (any number of
+ * concurrent ReplaySources over one reader); each source carries its
+ * own cursor. Stepping past the end of a trace that did not reach its
+ * program's HALT is a hard error (panic): the capture cap was too
+ * small for this simulation, and replaying short would silently
+ * desynchronize verification.
+ */
+class ReplaySource : public ArchSource
+{
+  public:
+    explicit ReplaySource(std::shared_ptr<const TraceReader> reader_);
+
+    StepResult step() override;
+    bool halted() const override { return isHalted; }
+    uint64_t instCount() const override { return cursor.stepsRead(); }
+
+    const TraceReader &traceReader() const { return *reader; }
+
+  private:
+    /** Panics on null so the cursor below never sees one. */
+    static std::shared_ptr<const TraceReader>
+    checked(std::shared_ptr<const TraceReader> r);
+
+    std::shared_ptr<const TraceReader> reader;
+    StepCursor cursor;
+    bool isHalted = false;
+};
+
+} // namespace tproc::replay
+
+#endif // TPROC_REPLAY_REPLAY_SOURCE_HH

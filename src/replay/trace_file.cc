@@ -1,0 +1,441 @@
+#include "replay/trace_file.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace tproc::replay
+{
+
+namespace
+{
+
+std::string
+uniqueTmpPath(const std::string &final_path)
+{
+    static std::atomic<unsigned> seq{0};
+    return final_path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(seq.fetch_add(1));
+}
+
+uint64_t
+doubleBits(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+bitsDouble(uint64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+encodeMeta(const TraceMeta &meta)
+{
+    std::string p;
+    putStr(p, meta.workload);
+    putU64(p, meta.seed);
+    putU64(p, doubleBits(meta.scale));
+    putU64(p, meta.captureCap);
+    putStr(p, meta.programName);
+    return p;
+}
+
+std::string
+encodeProgram(const Program &prog)
+{
+    std::string p;
+    putVarint(p, prog.entry);
+    putVarint(p, prog.code.size());
+    for (const Instruction &inst : prog.code) {
+        p.push_back(static_cast<char>(inst.op));
+        p.push_back(static_cast<char>(inst.rd));
+        p.push_back(static_cast<char>(inst.rs1));
+        p.push_back(static_cast<char>(inst.rs2));
+        putSvarint(p, inst.imm);
+    }
+    // The data image is an unordered_map; serialize sorted by address
+    // so identical programs produce identical bytes.
+    std::vector<std::pair<Addr, int64_t>> init(prog.dataInit.begin(),
+                                               prog.dataInit.end());
+    std::sort(init.begin(), init.end());
+    putVarint(p, init.size());
+    for (const auto &[addr, value] : init) {
+        putVarint(p, addr);
+        putSvarint(p, value);
+    }
+    return p;
+}
+
+/** The chunk digest covers the serialized header fields + payload. */
+uint64_t
+chunkDigest(ChunkType type, uint32_t payload_len, uint32_t records,
+            const std::string &payload)
+{
+    std::string header;
+    header.push_back(static_cast<char>(type));
+    putU32(header, payload_len);
+    putU32(header, records);
+    uint64_t h = fnv1a(header.data(), header.size());
+    return fnv1a(payload.data(), payload.size(), h);
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// TraceWriter.
+// ---------------------------------------------------------------------
+
+TraceWriter::TraceWriter(std::string path, const TraceMeta &meta,
+                         const Program &prog)
+    : finalPath(std::move(path)), tmpPath(uniqueTmpPath(finalPath)),
+      out(tmpPath, std::ios::binary | std::ios::trunc)
+{
+    if (!out)
+        throw TraceError("cannot create trace file " + tmpPath);
+
+    std::string header(traceMagic, sizeof(traceMagic));
+    putU32(header, traceVersion);
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+
+    writeChunk(ChunkType::META, 0, encodeMeta(meta));
+    writeChunk(ChunkType::PROG, 0, encodeProgram(prog));
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!finalized) {
+        out.close();
+        std::remove(tmpPath.c_str());
+    }
+}
+
+void
+TraceWriter::writeChunk(ChunkType type, uint32_t records,
+                        const std::string &payload)
+{
+    const auto len = static_cast<uint32_t>(payload.size());
+    std::string buf;
+    buf.push_back(static_cast<char>(type));
+    putU32(buf, len);
+    putU32(buf, records);
+    buf.append(payload);
+    putU64(buf, chunkDigest(type, len, records, payload));
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+void
+TraceWriter::append(const StepResult &s)
+{
+    std::string &p = stepPayload;
+    uint8_t flags = 0;
+    if (s.taken)
+        flags |= 1;
+    if (s.hasDest)
+        flags |= 2;
+    if (s.isMem)
+        flags |= 4;
+    if (s.halted)
+        flags |= 8;
+    const bool sequential = s.nextPc == s.pc + 1;
+    if (sequential)
+        flags |= 16;
+    p.push_back(static_cast<char>(flags));
+    putSvarint(p, static_cast<int64_t>(s.pc - prevPc));
+    if (!sequential)
+        putSvarint(p, static_cast<int64_t>(s.nextPc - s.pc));
+    if (s.hasDest)
+        putSvarint(p, s.destValue);
+    if (s.isMem) {
+        putSvarint(p, static_cast<int64_t>(s.memAddr - prevMemAddr));
+        putSvarint(p, s.memValue);
+        prevMemAddr = s.memAddr;
+    }
+    prevPc = s.pc;
+    if (s.halted)
+        sawHalt = true;
+    ++stepRecords;
+    ++totalSteps;
+    if (stepRecords >= stepsPerChunk)
+        flushSteps();
+}
+
+void
+TraceWriter::flushSteps()
+{
+    if (!stepRecords)
+        return;
+    streamFnv = fnv1a(stepPayload.data(), stepPayload.size(), streamFnv);
+    writeChunk(ChunkType::STEPS, stepRecords, stepPayload);
+    stepPayload.clear();
+    stepRecords = 0;
+}
+
+void
+TraceWriter::finalize()
+{
+    if (finalized)
+        throw TraceError("trace writer finalized twice");
+    flushSteps();
+
+    std::string end;
+    putU64(end, totalSteps);
+    putU64(end, streamFnv);
+    end.push_back(sawHalt ? 1 : 0);
+    writeChunk(ChunkType::END, 0, end);
+
+    out.flush();
+    const bool ok = out.good();
+    out.close();
+    if (!ok) {
+        std::remove(tmpPath.c_str());
+        throw TraceError("I/O error writing trace " + tmpPath);
+    }
+    if (std::rename(tmpPath.c_str(), finalPath.c_str()) != 0) {
+        std::remove(tmpPath.c_str());
+        throw TraceError("cannot rename " + tmpPath + " to " + finalPath);
+    }
+    finalized = true;
+}
+
+// ---------------------------------------------------------------------
+// TraceReader.
+// ---------------------------------------------------------------------
+
+TraceReader::TraceReader(const std::string &path)
+{
+    parseContainer(path);
+}
+
+void
+TraceReader::decodeMeta(ByteCursor c)
+{
+    inf.meta.workload = c.str();
+    inf.meta.seed = c.u64();
+    inf.meta.scale = bitsDouble(c.u64());
+    inf.meta.captureCap = c.u64();
+    inf.meta.programName = c.str();
+    if (!c.atEnd())
+        throw TraceError("trailing bytes in META chunk");
+}
+
+void
+TraceReader::decodeProgram(ByteCursor c)
+{
+    prog.entry = static_cast<Addr>(c.varint());
+    prog.name = inf.meta.programName;
+    const uint64_t code_size = c.varint();
+    // Every instruction encodes to >= 5 bytes; a corrupt count must not
+    // drive a multi-gigabyte reserve.
+    if (code_size > c.remaining() / 5)
+        throw TraceError("PROG code count exceeds chunk size");
+    prog.code.reserve(static_cast<size_t>(code_size));
+    for (uint64_t i = 0; i < code_size; ++i) {
+        Instruction inst;
+        const uint8_t op = c.u8();
+        if (op >= static_cast<uint8_t>(Opcode::NUM_OPCODES))
+            throw TraceError("PROG chunk holds an invalid opcode");
+        inst.op = static_cast<Opcode>(op);
+        inst.rd = c.u8();
+        inst.rs1 = c.u8();
+        inst.rs2 = c.u8();
+        inst.imm = c.svarint();
+        prog.code.push_back(inst);
+    }
+    const uint64_t data_count = c.varint();
+    if (data_count > c.remaining() / 2)
+        throw TraceError("PROG data count exceeds chunk size");
+    prog.dataInit.reserve(static_cast<size_t>(data_count));
+    for (uint64_t i = 0; i < data_count; ++i) {
+        const Addr addr = static_cast<Addr>(c.varint());
+        prog.dataInit[addr] = c.svarint();
+    }
+    if (!c.atEnd())
+        throw TraceError("trailing bytes in PROG chunk");
+    inf.codeSize = prog.code.size();
+    inf.dataInitSize = prog.dataInit.size();
+}
+
+void
+TraceReader::parseContainer(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw TraceError("cannot open trace file " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    data = ss.str();
+    inf.fileBytes = data.size();
+
+    if (data.size() < 8 ||
+        std::memcmp(data.data(), traceMagic, sizeof(traceMagic)) != 0) {
+        throw TraceError(path + ": not a trace file (bad magic)");
+    }
+    {
+        ByteCursor c(data.data() + 4, 4);
+        const uint32_t version = c.u32();
+        if (version != traceVersion) {
+            throw TraceError(path + ": unsupported trace version " +
+                             std::to_string(version) + " (want " +
+                             std::to_string(traceVersion) + ")");
+        }
+    }
+
+    size_t pos = 8;
+    int chunk_no = 0;
+    bool saw_end = false;
+    uint64_t stream_fnv = fnvOffset;
+    uint64_t steps_sum = 0;
+    while (pos < data.size()) {
+        if (saw_end)
+            throw TraceError(path + ": data after END chunk");
+        if (data.size() - pos < 9 + 8)
+            throw TraceError(path + ": truncated chunk header");
+        ByteCursor hdr(data.data() + pos, 9);
+        const uint8_t type = hdr.u8();
+        const uint32_t len = hdr.u32();
+        const uint32_t records = hdr.u32();
+        if (data.size() - pos - 9 < static_cast<size_t>(len) + 8)
+            throw TraceError(path + ": truncated chunk payload");
+
+        const char *payload = data.data() + pos + 9;
+        uint64_t digest = fnv1a(data.data() + pos, 9);
+        digest = fnv1a(payload, len, digest);
+        {
+            ByteCursor tail(payload + len, 8);
+            if (tail.u64() != digest) {
+                throw TraceError(path + ": chunk " +
+                                 std::to_string(chunk_no) +
+                                 " checksum mismatch");
+            }
+        }
+
+        const auto ctype = static_cast<ChunkType>(type);
+        if (chunk_no == 0 && ctype != ChunkType::META)
+            throw TraceError(path + ": first chunk is not META");
+        if (chunk_no == 1 && ctype != ChunkType::PROG)
+            throw TraceError(path + ": second chunk is not PROG");
+        switch (ctype) {
+          case ChunkType::META:
+            if (chunk_no != 0)
+                throw TraceError(path + ": duplicate META chunk");
+            decodeMeta(ByteCursor(payload, len));
+            break;
+          case ChunkType::PROG:
+            if (chunk_no != 1)
+                throw TraceError(path + ": duplicate PROG chunk");
+            decodeProgram(ByteCursor(payload, len));
+            break;
+          case ChunkType::STEPS:
+            if (chunk_no < 2)
+                throw TraceError(path + ": STEPS before PROG");
+            chunks.push_back({pos + 9, len, records});
+            stream_fnv = fnv1a(payload, len, stream_fnv);
+            steps_sum += records;
+            ++inf.stepChunks;
+            break;
+          case ChunkType::END: {
+            if (chunk_no < 2)
+                throw TraceError(path + ": END before PROG");
+            ByteCursor c(payload, len);
+            inf.totalSteps = c.u64();
+            const uint64_t want_fnv = c.u64();
+            inf.cleanHalt = c.u8() != 0;
+            if (!c.atEnd())
+                throw TraceError(path + ": trailing bytes in END chunk");
+            if (inf.totalSteps != steps_sum) {
+                throw TraceError(path + ": END claims " +
+                                 std::to_string(inf.totalSteps) +
+                                 " steps but chunks hold " +
+                                 std::to_string(steps_sum));
+            }
+            if (want_fnv != stream_fnv)
+                throw TraceError(path + ": step stream digest mismatch");
+            saw_end = true;
+            break;
+          }
+          default:
+            throw TraceError(path + ": unknown chunk type " +
+                             std::to_string(type));
+        }
+        pos += 9 + static_cast<size_t>(len) + 8;
+        ++chunk_no;
+    }
+    if (!saw_end)
+        throw TraceError(path + ": incomplete trace (missing END chunk)");
+}
+
+bool
+StepCursor::next(StepResult &out)
+{
+    const auto &chunks = reader->chunks;
+    for (;;) {
+        if (chunkIdx >= chunks.size())
+            return false;
+        const TraceReader::StepChunk &c = chunks[chunkIdx];
+        if (recordIdx == 0)
+            cur = ByteCursor(reader->data.data() + c.offset, c.length);
+        if (recordIdx < c.records)
+            break;
+        if (!cur.atEnd())
+            throw TraceError("trailing bytes in STEPS chunk");
+        ++chunkIdx;
+        recordIdx = 0;
+    }
+
+    const uint8_t flags = cur.u8();
+    if (flags & ~0x1fu)
+        throw TraceError("invalid step flags");
+    StepResult s;
+    s.taken = flags & 1;
+    s.hasDest = flags & 2;
+    s.isMem = flags & 4;
+    s.halted = flags & 8;
+    s.pc = prevPc + static_cast<Addr>(cur.svarint());
+    s.inst = reader->prog.fetch(s.pc);
+    s.nextPc = (flags & 16) ? s.pc + 1
+                            : s.pc + static_cast<Addr>(cur.svarint());
+    if (s.hasDest)
+        s.destValue = cur.svarint();
+    if (s.isMem) {
+        s.memAddr = prevMemAddr + static_cast<Addr>(cur.svarint());
+        s.memValue = cur.svarint();
+        prevMemAddr = s.memAddr;
+    }
+    prevPc = s.pc;
+    ++recordIdx;
+    ++decoded;
+    out = s;
+    return true;
+}
+
+bool
+TraceReader::verify(const std::string &path, std::string *error,
+                    TraceInfo *info)
+{
+    try {
+        TraceReader r(path);
+        StepCursor cursor(r);
+        StepResult s;
+        while (cursor.next(s)) {
+        }
+        if (info)
+            *info = r.info();
+        return true;
+    } catch (const std::exception &e) {
+        if (error)
+            *error = e.what();
+        return false;
+    }
+}
+
+} // namespace tproc::replay

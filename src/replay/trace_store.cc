@@ -1,0 +1,246 @@
+#include "replay/trace_store.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "replay/capture.hh"
+
+namespace tproc::replay
+{
+
+namespace
+{
+
+/**
+ * Process-wide cache of parsed traces keyed by path. Readers are
+ * immutable, so concurrent sweep points share one parsed instance and
+ * a 16-point sweep over 8 workloads parses 8 files, not 16. Bounded
+ * FIFO so a long-lived process sweeping many workloads cannot hold
+ * every trace in memory forever.
+ */
+constexpr size_t cacheCapacity = 32;
+
+struct ReaderCache
+{
+    std::mutex mutex;
+    std::unordered_map<std::string, std::shared_ptr<const TraceReader>>
+        byPath;
+    std::deque<std::string> order;      //!< insertion order for eviction
+
+    void
+    put(const std::string &path, std::shared_ptr<const TraceReader> r)
+    {
+        if (byPath.count(path) == 0) {
+            order.push_back(path);
+            while (order.size() > cacheCapacity) {
+                byPath.erase(order.front());
+                order.pop_front();
+            }
+        }
+        byPath[path] = std::move(r);
+    }
+
+    void
+    drop(const std::string &path)
+    {
+        // Keep order in sync with byPath: a stale order entry would
+        // later evict a live reader for the same re-inserted path.
+        if (byPath.erase(path)) {
+            auto it = std::find(order.begin(), order.end(), path);
+            if (it != order.end())
+                order.erase(it);
+        }
+    }
+
+    std::shared_ptr<const TraceReader>
+    get(const std::string &path)
+    {
+        auto it = byPath.find(path);
+        return it == byPath.end() ? nullptr : it->second;
+    }
+};
+
+ReaderCache &
+readerCache()
+{
+    static ReaderCache c;
+    return c;
+}
+
+/** One capture at a time, across every TraceStore in the process. */
+std::mutex &
+storeMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::string
+fmtScale(double scale)
+{
+    // The file name must key the exact double the identity check in
+    // acceptable() compares, or two nearby scales would share a path
+    // and perpetually invalidate each other's trace. %g is used when
+    // it round-trips (the common 1, 0.25, ... cases); anything else
+    // falls back to the raw bit pattern.
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%g", scale);
+    if (std::strtod(buf, nullptr) == scale)
+        return buf;
+    uint64_t bits;
+    std::memcpy(&bits, &scale, sizeof(bits));
+    std::snprintf(buf, sizeof(buf), "b%016llx",
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+/** True when the parsed trace matches the requested identity and
+ *  covers a max_insts-capped run; the reason lands in why otherwise. */
+bool
+acceptable(const TraceInfo &info, const std::string &workload,
+           uint64_t seed, double scale, uint64_t max_insts,
+           std::string *why)
+{
+    const TraceMeta &m = info.meta;
+    if (m.workload != workload || m.seed != seed || m.scale != scale) {
+        if (why) {
+            *why = "trace identity mismatch (holds " + m.workload +
+                " seed " + std::to_string(m.seed) + ")";
+        }
+        return false;
+    }
+    if (!info.cleanHalt && info.totalSteps < captureCapFor(max_insts)) {
+        if (why) {
+            *why = "trace too short for a " +
+                std::to_string(max_insts) + "-instruction run (" +
+                std::to_string(info.totalSteps) + " steps, no HALT)";
+        }
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Cached or freshly parsed reader accepted for the identity, or null.
+ * The TraceReader constructor checks every chunk checksum, the step
+ * totals, and the stream digest; replay decodes the records
+ * themselves, so no separate verify walk is needed here.
+ */
+std::shared_ptr<const TraceReader>
+openFor(const std::string &path, const std::string &workload,
+        uint64_t seed, double scale, uint64_t max_insts,
+        std::string *why)
+{
+    auto &cache = readerCache();
+    std::shared_ptr<const TraceReader> reader;
+    {
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        reader = cache.get(path);
+    }
+    if (!reader) {
+        try {
+            reader = std::make_shared<const TraceReader>(path);
+        } catch (const TraceError &e) {
+            if (why)
+                *why = e.what();
+            return nullptr;
+        }
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        cache.put(path, reader);
+    }
+    if (!acceptable(reader->info(), workload, seed, scale, max_insts,
+                    why)) {
+        return nullptr;
+    }
+    return reader;
+}
+
+} // anonymous namespace
+
+std::string
+TraceStore::tracePath(const std::string &workload, uint64_t seed,
+                      double scale, uint64_t max_insts) const
+{
+    std::string name = workload + "-s" + std::to_string(seed) + "-x" +
+        fmtScale(scale) + "-i" +
+        (max_insts == UINT64_MAX ? std::string("all")
+                                 : std::to_string(max_insts)) +
+        ".tpt";
+    return dir + "/" + name;
+}
+
+bool
+TraceStore::validFor(const std::string &path, const std::string &workload,
+                     uint64_t seed, double scale, uint64_t max_insts,
+                     std::string *why)
+{
+    std::string error;
+    TraceInfo info;
+    if (!TraceReader::verify(path, &error, &info)) {
+        if (why)
+            *why = error;
+        return false;
+    }
+    return acceptable(info, workload, seed, scale, max_insts, why);
+}
+
+void
+TraceStore::dropCache()
+{
+    auto &cache = readerCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    cache.byPath.clear();
+    cache.order.clear();
+}
+
+TraceStore::EnsureResult
+TraceStore::ensure(const std::string &workload, uint64_t seed,
+                   double scale, uint64_t max_insts)
+{
+    const std::string path = tracePath(workload, seed, scale, max_insts);
+
+    EnsureResult r;
+    std::string why;
+    r.reader = openFor(path, workload, seed, scale, max_insts, &why);
+    if (r.reader)
+        return r;
+
+    std::lock_guard<std::mutex> lock(storeMutex());
+    // Another thread may have captured (and cached) the trace while we
+    // waited for the lock: retry through the cache first, and only
+    // drop the entry when it is genuinely unacceptable, so contending
+    // threads do not serially re-parse a freshly captured file.
+    r.reader = openFor(path, workload, seed, scale, max_insts, &why);
+    if (r.reader)
+        return r;
+    {
+        auto &cache = readerCache();
+        std::lock_guard<std::mutex> clock(cache.mutex);
+        cache.drop(path);
+    }
+
+    if (std::filesystem::exists(path)) {
+        warn("trace store: recapturing %s: %s", path.c_str(),
+             why.c_str());
+        std::remove(path.c_str());
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    captureWorkloadTrace(workload, seed, scale, max_insts, path);
+    r.captured = true;
+    r.reader = openFor(path, workload, seed, scale, max_insts, &why);
+    if (!r.reader) {
+        throw TraceError("freshly captured trace " + path +
+                         " failed validation: " + why);
+    }
+    return r;
+}
+
+} // namespace tproc::replay

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * TraceStore: a directory of workload traces keyed by the capture
+ * identity (workload, seed, scale, instruction limit). The sweep
+ * harness's capture-once/replay-many mode: the first point to touch a
+ * workload records its trace; every later point (any model, any
+ * processor configuration) replays the file instead of regenerating
+ * the workload and re-running the architectural execution.
+ */
+
+#ifndef TPROC_REPLAY_TRACE_STORE_HH
+#define TPROC_REPLAY_TRACE_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "replay/trace_file.hh"
+
+namespace tproc::replay
+{
+
+class TraceStore
+{
+  public:
+    explicit TraceStore(std::string dir_) : dir(std::move(dir_)) {}
+
+    const std::string &directory() const { return dir; }
+
+    /** Canonical file name for a capture identity. */
+    std::string tracePath(const std::string &workload, uint64_t seed,
+                          double scale, uint64_t max_insts) const;
+
+    struct EnsureResult
+    {
+        std::shared_ptr<const TraceReader> reader;
+        bool captured = false;  //!< this call recorded the trace
+    };
+
+    /**
+     * Open a valid trace for the identity, capturing it first when the
+     * file is missing, corrupt, or does not cover max_insts. Captures
+     * are serialized process-wide and land atomically (temp + rename),
+     * so concurrent sweep points record a workload exactly once and a
+     * killed capture leaves no file behind. Parsed traces are held in
+     * a process-wide cache, so a sweep parses each trace file once no
+     * matter how many points replay it (the capture-once/parse-once/
+     * replay-many fast path). Throws TraceError when the trace cannot
+     * be produced.
+     */
+    EnsureResult ensure(const std::string &workload, uint64_t seed,
+                        double scale, uint64_t max_insts);
+
+    /** Drop the process-wide parsed-trace cache (tests). */
+    static void dropCache();
+
+    /**
+     * True when path holds a verifiable trace matching the identity
+     * and covering a max_insts-capped run; the failure reason lands in
+     * why (when non-null) otherwise.
+     */
+    static bool validFor(const std::string &path,
+                         const std::string &workload, uint64_t seed,
+                         double scale, uint64_t max_insts,
+                         std::string *why = nullptr);
+
+  private:
+    std::string dir;
+};
+
+} // namespace tproc::replay
+
+#endif // TPROC_REPLAY_TRACE_STORE_HH

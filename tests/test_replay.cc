@@ -1,0 +1,597 @@
+/**
+ * @file
+ * Trace capture/replay tests: the binary container round trip, the
+ * capture-once/replay-many store, the differential contract (replaying
+ * a recorded trace through the full timing processor is bit-identical
+ * to live emulation for every seed workload), negative cases for
+ * truncated and corrupted files, capture atomicity under SIGKILL, and
+ * the golden-statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "emulator/emulator.hh"
+#include "harness/golden.hh"
+#include "harness/sweep.hh"
+#include "replay/capture.hh"
+#include "replay/replay_source.hh"
+#include "replay/trace_store.hh"
+#include "workloads/workloads.hh"
+
+namespace tproc
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Unique scratch directory, removed (recursively) on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &stem)
+        : p(testing::TempDir() + stem + "." +
+            std::to_string(::getpid()) + "." +
+            std::to_string(reinterpret_cast<uintptr_t>(this)))
+    {
+        fs::remove_all(p);
+        fs::create_directories(p);
+    }
+
+    ~TempDir() { fs::remove_all(p); }
+
+    const std::string &path() const { return p; }
+
+    std::string file(const std::string &name) const
+    {
+        return p + "/" + name;
+    }
+
+  private:
+    std::string p;
+};
+
+std::string
+readBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+/** A tiny handwritten program exercising ALU, memory, and HALT. */
+Program
+tinyProgram()
+{
+    Program prog;
+    prog.name = "tiny";
+    auto add = [&prog](Opcode op, ArchReg rd, ArchReg rs1, ArchReg rs2,
+                       int64_t imm) {
+        prog.code.push_back({op, rd, rs1, rs2, imm});
+    };
+    add(Opcode::ADDI, 3, 0, 0, 5);
+    add(Opcode::ADDI, 4, 0, 0, 7);
+    add(Opcode::ADD, 5, 3, 4, 0);
+    add(Opcode::ST, 0, 0, 5, 10);       // mem[10] <- r5
+    add(Opcode::LD, 6, 0, 0, 10);       // r6 <- mem[10]
+    add(Opcode::HALT, 0, 0, 0, 0);
+    return prog;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Container round trip.
+// ---------------------------------------------------------------------
+
+TEST(TraceRoundTrip, TinyProgramToHalt)
+{
+    TempDir dir("replay_tiny");
+    const std::string path = dir.file("tiny.tpt");
+    const Program prog = tinyProgram();
+
+    replay::TraceMeta meta;
+    meta.workload = "tiny";
+    meta.programName = prog.name;
+    auto cap = replay::captureProgramTrace(prog, meta, path);
+    EXPECT_TRUE(cap.halted);
+    EXPECT_EQ(cap.steps, 6u);
+
+    replay::TraceReader reader(path);
+    EXPECT_EQ(reader.meta().workload, "tiny");
+    EXPECT_TRUE(reader.info().cleanHalt);
+    EXPECT_EQ(reader.info().totalSteps, 6u);
+    EXPECT_EQ(reader.program().code.size(), prog.code.size());
+
+    // The decoded stream must equal a fresh emulation step for step.
+    Emulator emu(prog);
+    replay::StepCursor cursor(reader);
+    StepResult got;
+    while (cursor.next(got)) {
+        const StepResult want = emu.step();
+        EXPECT_EQ(want, got) << "step " << cursor.stepsRead();
+    }
+    EXPECT_TRUE(emu.halted());
+    EXPECT_EQ(cursor.stepsRead(), 6u);
+}
+
+TEST(TraceRoundTrip, WorkloadProgramAndStreamSurvive)
+{
+    TempDir dir("replay_rt");
+    const std::string path = dir.file("compress.tpt");
+    const uint64_t cap = 5000;
+
+    const Workload w = makeWorkload("compress", 1, 0.25);
+    replay::TraceMeta meta;
+    meta.workload = "compress";
+    meta.seed = 1;
+    meta.scale = 0.25;
+    meta.captureCap = cap;
+    meta.programName = w.program.name;
+    auto res = replay::captureProgramTrace(w.program, meta, path);
+    EXPECT_EQ(res.steps, cap);
+
+    replay::TraceReader reader(path);
+    const Program &p = reader.program();
+    EXPECT_EQ(p.name, w.program.name);
+    EXPECT_EQ(p.entry, w.program.entry);
+    ASSERT_EQ(p.code.size(), w.program.code.size());
+    for (size_t i = 0; i < p.code.size(); ++i)
+        EXPECT_EQ(p.code[i], w.program.code[i]) << "inst " << i;
+    EXPECT_EQ(p.dataInit, w.program.dataInit);
+
+    Emulator emu(w.program);
+    replay::StepCursor cursor(reader);
+    StepResult got;
+    uint64_t n = 0;
+    while (cursor.next(got)) {
+        EXPECT_EQ(emu.step(), got) << "step " << n;
+        ++n;
+    }
+    EXPECT_EQ(n, cap);
+}
+
+TEST(TraceRoundTrip, CaptureCapSaturates)
+{
+    EXPECT_EQ(replay::captureCapFor(1000),
+              1000 + replay::captureSlack);
+    EXPECT_EQ(replay::captureCapFor(UINT64_MAX), UINT64_MAX);
+    EXPECT_EQ(replay::captureCapFor(UINT64_MAX - 1), UINT64_MAX);
+}
+
+// ---------------------------------------------------------------------
+// Differential contract: replay == live for every seed workload.
+// ---------------------------------------------------------------------
+
+TEST(ReplayDifferential, AllWorkloadsBitIdenticalToLive)
+{
+    TempDir dir("replay_diff");
+    for (const auto &name : workloadNames()) {
+        harness::SweepPoint p;
+        p.workload = name;
+        p.model = "base";
+        p.seed = 1;
+        p.scale = 0.25;
+        p.maxInsts = 8000;
+        p.verify = true;    // retirement checked against the stream
+
+        auto live = harness::SweepEngine::runPoint(p);
+        ASSERT_TRUE(live.ok) << name << ": " << live.error;
+
+        p.traceDir = dir.path();
+        auto replayed = harness::SweepEngine::runPoint(p);
+        ASSERT_TRUE(replayed.ok) << name << ": " << replayed.error;
+
+        // Full flattened counter dict, bit for bit. Replay mode also
+        // re-verified every retired instruction against the recorded
+        // stream (p.verify), so the retired-instruction streams are
+        // identical by construction or the run would have failed.
+        EXPECT_EQ(harness::statsToDict(live.stats),
+                  harness::statsToDict(replayed.stats))
+            << name;
+    }
+}
+
+TEST(ReplayDifferential, SecondModelReplaysSameTrace)
+{
+    TempDir dir("replay_two_models");
+    harness::SweepPoint p;
+    p.workload = "li";
+    p.seed = 1;
+    p.scale = 0.25;
+    p.maxInsts = 8000;
+    p.traceDir = dir.path();
+
+    p.model = "base";
+    auto base = harness::SweepEngine::runPoint(p);
+    ASSERT_TRUE(base.ok) << base.error;
+
+    // One trace file serves every model of the workload.
+    size_t traces = 0;
+    for (const auto &e : fs::directory_iterator(dir.path()))
+        traces += e.path().extension() == ".tpt" ? 1 : 0;
+    EXPECT_EQ(traces, 1u);
+
+    p.model = "FG+MLB-RET";
+    auto fg = harness::SweepEngine::runPoint(p);
+    ASSERT_TRUE(fg.ok) << fg.error;
+
+    p.traceDir.clear();
+    auto fg_live = harness::SweepEngine::runPoint(p);
+    ASSERT_TRUE(fg_live.ok) << fg_live.error;
+    EXPECT_EQ(harness::statsToDict(fg_live.stats),
+              harness::statsToDict(fg.stats));
+}
+
+TEST(ReplayDifferential, EngineParallelReplayIdenticalToLiveSerial)
+{
+    TempDir dir("replay_engine");
+    auto points = harness::crossPoints({"compress", "go"},
+                                       {"base", "FG+MLB-RET"}, 1, 6000,
+                                       /*verify=*/true);
+    for (auto &p : points)
+        p.scale = 0.25;
+
+    harness::SweepEngine::Options serial_opts;
+    serial_opts.threads = 1;
+    auto live = harness::SweepEngine(serial_opts).run(points);
+
+    for (auto &p : points)
+        p.traceDir = dir.path();
+    harness::SweepEngine::Options par_opts;
+    par_opts.threads = 3;
+    auto replayed = harness::SweepEngine(par_opts).run(points);
+
+    ASSERT_EQ(live.size(), replayed.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+        ASSERT_TRUE(live[i].ok) << live[i].error;
+        ASSERT_TRUE(replayed[i].ok) << replayed[i].error;
+        EXPECT_EQ(harness::statsToDict(live[i].stats),
+                  harness::statsToDict(replayed[i].stats))
+            << points[i].label();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Negative cases: truncation, corruption, exhaustion.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::string
+makeValidTrace(const TempDir &dir, const std::string &name)
+{
+    const std::string path = dir.file(name);
+    const Workload w = makeWorkload("compress", 1, 0.25);
+    replay::TraceMeta meta;
+    meta.workload = "compress";
+    meta.seed = 1;
+    meta.scale = 0.25;
+    meta.captureCap = 2000;
+    meta.programName = w.program.name;
+    replay::captureProgramTrace(w.program, meta, path);
+    return path;
+}
+
+} // anonymous namespace
+
+TEST(ReplayNegative, TruncatedFileRejected)
+{
+    TempDir dir("replay_trunc");
+    const std::string good = makeValidTrace(dir, "good.tpt");
+    const std::string bytes = readBytes(good);
+    ASSERT_GT(bytes.size(), 64u);
+
+    for (size_t keep : {bytes.size() - 1, bytes.size() / 2, size_t{20},
+                        size_t{4}}) {
+        const std::string path = dir.file("trunc.tpt");
+        writeBytes(path, bytes.substr(0, keep));
+        EXPECT_THROW(replay::TraceReader reader(path),
+                     replay::TraceError)
+            << "kept " << keep << " bytes";
+        std::string why;
+        EXPECT_FALSE(replay::TraceStore::validFor(path, "compress", 1,
+                                                  0.25, 1000, &why));
+        EXPECT_FALSE(why.empty());
+    }
+}
+
+TEST(ReplayNegative, CorruptedBytesRejected)
+{
+    TempDir dir("replay_corrupt");
+    const std::string good = makeValidTrace(dir, "good.tpt");
+    const std::string bytes = readBytes(good);
+
+    // Flip one byte in several places: magic, version, chunk interior.
+    for (size_t at : {size_t{0}, size_t{5}, bytes.size() / 3,
+                      2 * bytes.size() / 3, bytes.size() - 3}) {
+        std::string bad = bytes;
+        bad[at] = static_cast<char>(bad[at] ^ 0x40);
+        const std::string path = dir.file("bad.tpt");
+        writeBytes(path, bad);
+        EXPECT_THROW(replay::TraceReader reader(path),
+                     replay::TraceError)
+            << "flipped byte " << at;
+    }
+}
+
+TEST(ReplayNegative, NonTraceFileRejected)
+{
+    TempDir dir("replay_notrace");
+    const std::string path = dir.file("nope.tpt");
+    writeBytes(path, "this is not a trace file at all");
+    EXPECT_THROW(replay::TraceReader reader(path), replay::TraceError);
+    EXPECT_THROW(replay::TraceReader reader(dir.file("absent.tpt")),
+                 replay::TraceError);
+}
+
+TEST(ReplayNegative, ExhaustedTracePanicsInsteadOfReplayingShort)
+{
+    TempDir dir("replay_short");
+    const std::string path = dir.file("short.tpt");
+    const Workload w = makeWorkload("compress", 1, 0.25);
+    replay::TraceMeta meta;
+    meta.workload = "compress";
+    meta.captureCap = 100;      // far too short, and no HALT
+    replay::captureProgramTrace(w.program, meta, path);
+
+    auto reader = std::make_shared<const replay::TraceReader>(path);
+    EXPECT_FALSE(reader->info().cleanHalt);
+    replay::ReplaySource src(reader);
+    StepResult s;
+    for (int i = 0; i < 100; ++i)
+        s = src.step();
+    EXPECT_FALSE(src.halted());
+    ScopedErrorCapture capture;
+    EXPECT_THROW(src.step(), SimError);
+}
+
+// ---------------------------------------------------------------------
+// TraceStore: capture-once, recapture-on-corruption, kill atomicity.
+// ---------------------------------------------------------------------
+
+TEST(TraceStoreTest, CaptureOnceThenReplayFromDisk)
+{
+    TempDir dir("store_once");
+    replay::TraceStore store(dir.path());
+
+    auto first = store.ensure("li", 1, 0.25, 4000);
+    EXPECT_TRUE(first.captured);
+    const std::string path = store.tracePath("li", 1, 0.25, 4000);
+    EXPECT_TRUE(fs::exists(path));
+    const std::string bytes = readBytes(path);
+
+    // Second ensure reuses the file (cache dropped to force a re-read
+    // from disk rather than the in-process parse cache).
+    replay::TraceStore::dropCache();
+    auto second = store.ensure("li", 1, 0.25, 4000);
+    EXPECT_FALSE(second.captured);
+    EXPECT_EQ(readBytes(path), bytes);
+
+    // Different identity -> different file.
+    auto other = store.ensure("li", 2, 0.25, 4000);
+    EXPECT_TRUE(other.captured);
+    EXPECT_NE(store.tracePath("li", 2, 0.25, 4000), path);
+}
+
+TEST(TraceStoreTest, CorruptTraceIsRecaptured)
+{
+    TempDir dir("store_recapture");
+    replay::TraceStore store(dir.path());
+    store.ensure("go", 1, 0.25, 3000);
+    const std::string path = store.tracePath("go", 1, 0.25, 3000);
+
+    // Chop the tail off: END chunk gone, verification must reject it
+    // and ensure() must record a fresh valid trace.
+    const std::string bytes = readBytes(path);
+    writeBytes(path, bytes.substr(0, bytes.size() / 2));
+    std::string why;
+    EXPECT_FALSE(
+        replay::TraceStore::validFor(path, "go", 1, 0.25, 3000, &why));
+
+    replay::TraceStore::dropCache();
+    auto again = store.ensure("go", 1, 0.25, 3000);
+    EXPECT_TRUE(again.captured);
+    EXPECT_TRUE(
+        replay::TraceStore::validFor(path, "go", 1, 0.25, 3000, &why))
+        << why;
+}
+
+TEST(TraceStoreTest, AbandonedWriterLeavesNothingBehind)
+{
+    TempDir dir("writer_abandon");
+    const std::string path = dir.file("abandoned.tpt");
+    const Program prog = tinyProgram();
+    {
+        replay::TraceMeta meta;
+        meta.workload = "tiny";
+        replay::TraceWriter writer(path, meta, prog);
+        Emulator emu(prog);
+        writer.append(emu.step());
+        writer.append(emu.step());
+        // No finalize: destructor must clean up the temp file.
+    }
+    EXPECT_FALSE(fs::exists(path));
+    size_t entries = 0;
+    for (const auto &e : fs::directory_iterator(dir.path())) {
+        (void)e;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 0u);
+}
+
+TEST(TraceStoreTest, KilledCaptureLeavesNoTraceFile)
+{
+    TempDir dir("store_kill");
+    const std::string path = dir.file("killed.tpt");
+
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: start a capture and die mid-stream, as a SIGKILL'd
+        // sweep worker would. Everything so far sits in a temp file;
+        // the final path must never appear.
+        const Workload w = makeWorkload("compress", 1, 0.25);
+        replay::TraceMeta meta;
+        meta.workload = "compress";
+        meta.captureCap = 100000;
+        replay::TraceWriter writer(path, meta, w.program);
+        Emulator emu(w.program);
+        uint64_t n = 0;
+        emu.setStepObserver([&](const StepResult &s) {
+            writer.append(s);
+            if (++n == 5000)
+                raise(SIGKILL);
+        });
+        emu.run(meta.captureCap);
+        _exit(0);   // not reached
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    // Either no file at the final path (the rename never ran)...
+    EXPECT_FALSE(fs::exists(path));
+
+    // ...and whatever temp debris the kill left behind neither blocks
+    // nor pollutes a fresh capture of the same identity.
+    replay::TraceStore store(dir.path());
+    auto ensured = store.ensure("compress", 1, 0.25, 2000);
+    EXPECT_TRUE(ensured.captured);
+    std::string why;
+    EXPECT_TRUE(replay::TraceStore::validFor(
+        store.tracePath("compress", 1, 0.25, 2000), "compress", 1, 0.25,
+        2000, &why))
+        << why;
+}
+
+TEST(TraceStoreTest, ResumedSweepPointRecoversFromKillDebris)
+{
+    // The harness resume x capture interaction: a sweep worker
+    // SIGKILL'd mid-capture leaves, at worst, a stale writer temp file
+    // and/or a truncated final file (e.g. hand-copied). A resumed run
+    // of the same point must never replay short off either — it
+    // recaptures and produces stats bit-identical to live emulation.
+    TempDir dir("store_resume");
+    harness::SweepPoint p;
+    p.workload = "jpeg";
+    p.model = "base";
+    p.seed = 1;
+    p.scale = 0.25;
+    p.maxInsts = 5000;
+
+    auto live = harness::SweepEngine::runPoint(p);
+    ASSERT_TRUE(live.ok) << live.error;
+
+    replay::TraceStore store(dir.path());
+    const std::string path = store.tracePath("jpeg", 1, 0.25, 5000);
+    writeBytes(path + ".tmp.12345.0", "half-written capture debris");
+    writeBytes(path, std::string(replay::traceMagic,
+                                 sizeof(replay::traceMagic)) +
+                         "torn mid-write");
+    replay::TraceStore::dropCache();
+
+    p.traceDir = dir.path();
+    auto resumed = harness::SweepEngine::runPoint(p);
+    ASSERT_TRUE(resumed.ok) << resumed.error;
+    EXPECT_EQ(harness::statsToDict(live.stats),
+              harness::statsToDict(resumed.stats));
+    std::string why;
+    EXPECT_TRUE(replay::TraceStore::validFor(path, "jpeg", 1, 0.25,
+                                             5000, &why))
+        << why;
+}
+
+// ---------------------------------------------------------------------
+// Golden-statistics helpers.
+// ---------------------------------------------------------------------
+
+TEST(GoldenStats, FileNameSanitized)
+{
+    harness::SweepPoint p;
+    p.workload = "compress";
+    p.model = "FG+MLB-RET";
+    EXPECT_EQ(harness::goldenFileName(p), "compress__FG_MLB-RET.json");
+    p.model = "base(fg,ntb)";
+    EXPECT_EQ(harness::goldenFileName(p), "compress__base_fg_ntb_.json");
+
+    // Explicit-config points name by label, so distinct configs of one
+    // workload stay distinct through labelOverride.
+    p.useConfig = true;
+    EXPECT_EQ(harness::goldenFileName(p), "compress__config_.json");
+    p.labelOverride = "compress/bigPE";
+    EXPECT_EQ(harness::goldenFileName(p), "compress_bigPE.json");
+}
+
+TEST(GoldenStats, DiffFindsDriftMissingAndExtra)
+{
+    StatDict expected;
+    expected.set("cycles", 100);
+    expected.set("retiredInsts", 400);
+    expected.set("onlyInGolden", 7);
+
+    StatDict actual;
+    actual.set("cycles", 100);          // match
+    actual.set("retiredInsts", 401);    // drift
+    actual.set("onlyInRun", 3);         // extra
+
+    auto drift = harness::diffStatDicts(expected, actual);
+    ASSERT_EQ(drift.size(), 3u);
+    EXPECT_EQ(drift[0].key, "retiredInsts");
+    EXPECT_EQ(drift[0].expected, 400);
+    EXPECT_EQ(drift[0].actual, 401);
+    EXPECT_EQ(drift[1].key, "onlyInGolden");
+    EXPECT_FALSE(drift[1].inActual);
+    EXPECT_EQ(drift[2].key, "onlyInRun");
+    EXPECT_FALSE(drift[2].inExpected);
+
+    EXPECT_TRUE(harness::diffStatDicts(expected, expected).empty());
+}
+
+TEST(GoldenStats, SnapshotRoundTrip)
+{
+    TempDir dir("golden_rt");
+    harness::SweepPoint p;
+    p.workload = "jpeg";
+    p.model = "base";
+    p.seed = 1;
+    p.scale = 0.25;
+    p.maxInsts = 5000;
+    auto r = harness::SweepEngine::runPoint(p);
+    ASSERT_TRUE(r.ok) << r.error;
+
+    const StatDict stats = harness::statsToDict(r.stats);
+    const std::string path = dir.file(harness::goldenFileName(p));
+    harness::writeGoldenFile(path, stats);
+    EXPECT_TRUE(harness::diffStatDicts(harness::readGoldenFile(path),
+                                       stats)
+                    .empty());
+
+    EXPECT_THROW(harness::readGoldenFile(dir.file("missing.json")),
+                 std::runtime_error);
+}
+
+} // namespace tproc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tiny argument helpers shared by the tproc CLIs (tproc-sweep,
+ * tproc-trace).
+ */
+
+#ifndef TPROC_TOOLS_CLI_HH
+#define TPROC_TOOLS_CLI_HH
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tproc::cli
+{
+
+/** Match "--key=value"; on success value receives everything after
+ *  the '='. */
+inline bool
+parseArg(const char *arg, const char *key, std::string &value)
+{
+    size_t len = std::strlen(key);
+    if (std::strncmp(arg, key, len) != 0 || arg[len] != '=')
+        return false;
+    value = arg + len + 1;
+    return true;
+}
+
+/** Split a comma-separated list, dropping empty fields. */
+inline std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > pos)
+            out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace tproc::cli
+
+#endif // TPROC_TOOLS_CLI_HH

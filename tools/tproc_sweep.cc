@@ -8,10 +8,19 @@
  *   tproc-sweep [--workloads=a,b,...] [--models=a,b,...] [--insts=N]
  *               [--seed=S] [--threads=T] [--shard=I/N] [--resume=FILE]
  *               [--retries=R] [--json=FILE] [--merged-json=FILE]
+ *               [--trace-dir=DIR] [--golden=DIR] [--write-golden=DIR]
  *               [--no-verify] [--quiet]
  *
  * Merge usage:
  *   tproc-sweep merge [--out=FILE] shard0.json shard1.json ...
+ *
+ * --trace-dir=DIR runs every point in capture-once/replay-many mode:
+ * the first point to touch a workload records its architectural trace
+ * into DIR, all others replay the file (bit-identical stats by
+ * contract). --golden=DIR compares each point's stats against the
+ * checked-in snapshot DIR/<workload>__<model>.json and fails on any
+ * counter drift; --write-golden=DIR (re)generates the snapshots when a
+ * behavioural change is intentional.
  *
  * --shard=I/N runs the stable 1/N slice of the point grid owned by
  * 0-based shard I, with the same per-point indices and seeds as the
@@ -38,42 +47,22 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "common/stats.hh"
 #include "core/runner.hh"
+#include "harness/golden.hh"
 #include "harness/journal.hh"
 #include "harness/sweep.hh"
+#include "tools/cli.hh"
 #include "workloads/workloads.hh"
 
 using namespace tproc;
+using cli::parseArg;
+using cli::splitList;
 
 namespace
 {
-
-std::vector<std::string>
-splitList(const std::string &s)
-{
-    std::vector<std::string> out;
-    size_t pos = 0;
-    while (pos <= s.size()) {
-        size_t comma = s.find(',', pos);
-        if (comma == std::string::npos)
-            comma = s.size();
-        if (comma > pos)
-            out.push_back(s.substr(pos, comma - pos));
-        pos = comma + 1;
-    }
-    return out;
-}
-
-bool
-parseArg(const char *arg, const char *key, std::string &value)
-{
-    size_t len = std::strlen(key);
-    if (std::strncmp(arg, key, len) != 0 || arg[len] != '=')
-        return false;
-    value = arg + len + 1;
-    return true;
-}
 
 void
 usage(std::ostream &os)
@@ -83,7 +72,9 @@ usage(std::ostream &os)
           "                   [--shard=I/N] [--resume=FILE] "
           "[--retries=R]\n"
           "                   [--json=FILE] [--merged-json=FILE]\n"
-          "                   [--no-verify] [--quiet]\n"
+          "                   [--trace-dir=DIR] [--golden=DIR]\n"
+          "                   [--write-golden=DIR] [--no-verify] "
+          "[--quiet]\n"
           "       tproc-sweep merge [--out=FILE] a.json b.json ...\n";
 }
 
@@ -245,6 +236,9 @@ main(int argc, char **argv)
     std::string json_path;
     std::string merged_path;
     std::string resume_path;
+    std::string trace_dir;
+    std::string golden_dir;
+    std::string write_golden_dir;
 
     for (int i = 1; i < argc; ++i) {
         std::string v;
@@ -274,6 +268,12 @@ main(int argc, char **argv)
             json_path = v;
         } else if (parseArg(argv[i], "--merged-json", v)) {
             merged_path = v;
+        } else if (parseArg(argv[i], "--trace-dir", v)) {
+            trace_dir = v;
+        } else if (parseArg(argv[i], "--golden", v)) {
+            golden_dir = v;
+        } else if (parseArg(argv[i], "--write-golden", v)) {
+            write_golden_dir = v;
         } else if (std::strcmp(argv[i], "--no-verify") == 0) {
             verify = false;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -292,6 +292,13 @@ main(int argc, char **argv)
 
     auto grid =
         harness::crossPoints(workloads, models, seed, insts, verify);
+    // Replay mode is a per-point execution detail: indices, seeds, and
+    // stats are identical to a live run, so it composes with sharding
+    // and resume untouched.
+    if (!trace_dir.empty()) {
+        for (auto &p : grid)
+            p.traceDir = trace_dir;
+    }
     auto points =
         shard_count ? harness::shardPoints(grid, shard, shard_count)
                     : grid;
@@ -382,6 +389,78 @@ main(int argc, char **argv)
 
     int failed = printFailureSummary(results);
 
+    // Golden-statistics regression gate: every successful point's full
+    // counter dict must match its checked-in snapshot bit for bit.
+    int drifted = 0;
+    if (!golden_dir.empty()) {
+        for (const auto &r : results) {
+            if (!r.ok)
+                continue;
+            const std::string path =
+                golden_dir + "/" + harness::goldenFileName(r.point);
+            try {
+                const StatDict expected = harness::readGoldenFile(path);
+                const auto drift = harness::diffStatDicts(
+                    expected, harness::statsToDict(r.stats));
+                if (drift.empty())
+                    continue;
+                ++drifted;
+                std::cerr << "golden drift: " << r.point.label()
+                          << " vs " << path << ":\n";
+                size_t shown = 0;
+                for (const auto &d : drift) {
+                    if (++shown > 12) {
+                        std::cerr << "  ... and " << drift.size() - 12
+                                  << " more counters\n";
+                        break;
+                    }
+                    std::cerr << "  " << d.key << ": golden "
+                              << (d.inExpected ? jsonNumber(d.expected)
+                                               : std::string("<absent>"))
+                              << ", got "
+                              << (d.inActual ? jsonNumber(d.actual)
+                                             : std::string("<absent>"))
+                              << '\n';
+                }
+            } catch (const std::exception &e) {
+                ++drifted;
+                std::cerr << "golden: " << r.point.label() << ": "
+                          << e.what() << '\n';
+            }
+        }
+        if (drifted) {
+            std::cerr << "golden: " << drifted
+                      << " point(s) drifted from " << golden_dir
+                      << " (see README on regenerating snapshots)\n";
+        } else if (!quiet) {
+            std::cerr << "golden: all points match " << golden_dir
+                      << '\n';
+        }
+    }
+
+    if (!write_golden_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(write_golden_dir, ec);
+        int written = 0;
+        for (const auto &r : results) {
+            if (!r.ok)
+                continue;
+            try {
+                harness::writeGoldenFile(
+                    write_golden_dir + "/" +
+                        harness::goldenFileName(r.point),
+                    harness::statsToDict(r.stats));
+                ++written;
+            } catch (const std::exception &e) {
+                std::cerr << "tproc-sweep: " << e.what() << '\n';
+                return 126;
+            }
+        }
+        std::cerr << "wrote " << written << " golden snapshot"
+                  << (written == 1 ? "" : "s") << " to "
+                  << write_golden_dir << '\n';
+    }
+
     StatDict merged = harness::mergeResults(results);
     std::cout << "\nmerged: " << results.size() - failed << "/"
               << results.size() << " points ok, "
@@ -412,5 +491,6 @@ main(int argc, char **argv)
             std::cerr << "wrote " << merged_path << '\n';
     }
 
-    return failed > 125 ? 125 : failed;
+    const int bad = failed + drifted;
+    return bad > 125 ? 125 : bad;
 }
