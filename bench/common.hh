@@ -66,6 +66,17 @@ benchThreads()
     return 0;
 }
 
+/** Intra-simulation PE-compute threads for the single-point pass of
+ *  bench_sweep_scaling (ProcessorConfig::peThreads). Override with
+ *  TPROC_BENCH_PE_THREADS. */
+inline unsigned
+benchPeThreads()
+{
+    if (const char *e = std::getenv("TPROC_BENCH_PE_THREADS"))
+        return static_cast<unsigned>(std::strtoul(e, nullptr, 10));
+    return 4;
+}
+
 /** Clean re-runs granted to a failed point before its failure stands
  *  (microreboot-style). Override with TPROC_SWEEP_RETRIES. */
 inline unsigned

@@ -75,6 +75,19 @@ struct ProcessorConfig
     /// @{
     uint64_t watchdogCycles = 200000;   //!< panic if retirement stalls
     bool verifyRetirement = true;       //!< golden-model check at retire
+
+    /**
+     * Intra-simulation parallelism: executors for the per-PE compute
+     * phases (completion scan, local issue/execute), stepped by a
+     * per-cycle epoch barrier; every side effect on global structures
+     * (ARB, rename, frontend, buses, events) commits serially in
+     * window order, so statistics are bit-identical for every value
+     * (test_pe_parallel- and CI-enforced). Counts executors including
+     * the simulation thread itself: 0 (default) keeps the legacy
+     * inline serial scheduler, 1 is the pooled scheduler degenerated
+     * to inline execution, N > 1 runs the compute phases N-wide.
+     */
+    int peThreads = 0;
     /// @}
 
     /**

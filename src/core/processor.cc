@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "harness/cycle_pool.hh"
 #include "isa/disasm.hh"
 
 namespace tproc
@@ -48,6 +49,9 @@ Processor::Processor(const Program &prog_, const ProcessorConfig &cfg_,
     }
     for (int i = cfg.numPEs - 1; i >= 0; --i)
         freePes.push_back(i);
+    if (cfg.peThreads > 0)
+        peThreadPool = std::make_unique<harness::CyclePool>(
+            static_cast<unsigned>(cfg.peThreads));
 }
 
 Processor::~Processor() = default;
@@ -248,21 +252,55 @@ Processor::issueSlot(InFlightTrace &t, int slot)
 }
 
 void
+Processor::runOnPool(size_t n, const std::function<void(size_t)> &fn)
+{
+    peThreadPool->run(n, fn);
+}
+
+void
+Processor::issueTrace(InFlightTrace &t)
+{
+    int issued_this_cycle = 0;
+    for (size_t i = 0;
+         i < t.slots.size() && issued_this_cycle < cfg.issuePerPe; ++i) {
+        DynSlot &d = t.slots[i];
+        if (d.issued || d.completed || curCycle < d.earliestIssue)
+            continue;
+        if (!operandReady(t, d))
+            continue;
+        issueSlot(t, static_cast<int>(i));
+        ++issued_this_cycle;
+    }
+}
+
+void
 Processor::phaseIssue()
 {
-    for (TraceUid uid : window) {
-        InFlightTrace &t = *find(uid);
-        int issued_this_cycle = 0;
-        for (size_t i = 0;
-             i < t.slots.size() && issued_this_cycle < cfg.issuePerPe;
-             ++i) {
-            DynSlot &d = t.slots[i];
-            if (d.issued || d.completed || curCycle < d.earliestIssue)
-                continue;
-            if (!operandReady(t, d))
-                continue;
-            issueSlot(t, static_cast<int>(i));
-            ++issued_this_cycle;
+    // Pure compute phase: each PE issues against its own slots and the
+    // frozen register file (nothing writes prf during issue), so there
+    // is no commit half and no cross-PE ordering to preserve.
+    forEachWindowEntry(window.size(),
+                       [this](size_t i) { issueTrace(*find(window[i])); });
+}
+
+void
+Processor::scanCompletions(size_t wpos)
+{
+    // Collect, don't complete: completion side effects (events, bus
+    // requests) belong to the commit phase. Strictly PE-local reads,
+    // safe to run concurrently with the other PEs' scans.
+    CompletionScan &out = scanScratch[wpos];
+    out.uid = window[wpos];
+    out.slots.clear();
+    const InFlightTrace &t = *find(out.uid);
+    for (size_t i = 0; i < t.slots.size(); ++i) {
+        const DynSlot &d = t.slots[i];
+        // waitingBus gates memory ops between address generation and
+        // their cache-bus grant (the grant schedules the real
+        // completion time).
+        if (d.issued && !d.completed && !d.waitingBus &&
+            d.execDoneAt <= curCycle) {
+            out.slots.push_back(static_cast<int>(i));
         }
     }
 }
@@ -270,33 +308,30 @@ Processor::phaseIssue()
 void
 Processor::phaseCompletions()
 {
-    // Collect first: completion side effects (events, bus requests) must
-    // not disturb the scan.
-    struct Done { TraceUid uid; int slot; };
-    std::vector<Done> done;
-    for (TraceUid uid : window) {
-        InFlightTrace &t = *find(uid);
-        for (size_t i = 0; i < t.slots.size(); ++i) {
-            DynSlot &d = t.slots[i];
-            // waitingBus gates memory ops between address generation and
-            // their cache-bus grant (the grant schedules the real
-            // completion time).
-            if (d.issued && !d.completed && !d.waitingBus &&
-                d.execDoneAt <= curCycle) {
-                done.push_back({uid, static_cast<int>(i)});
+    // Compute: every PE scans its own trace for completion-ready
+    // slots. The per-entry lists concatenated in window order are
+    // exactly the serial scheduler's done-list.
+    const size_t n = window.size();
+    if (scanScratch.size() < n)
+        scanScratch.resize(n);
+    forEachWindowEntry(n, [this](size_t i) { scanCompletions(i); });
+
+    // Commit: apply completion side effects serially in window order,
+    // revalidating each snapshotted (uid, slot) pair — an earlier
+    // completion's side effects may have squashed or reissued it.
+    for (size_t w = 0; w < n; ++w) {
+        const TraceUid uid = scanScratch[w].uid;
+        for (int slot : scanScratch[w].slots) {
+            InFlightTrace *t = find(uid);
+            if (!t)
+                continue;
+            DynSlot &d = t->slots[slot];
+            if (!d.issued || d.completed || d.waitingBus ||
+                d.execDoneAt > curCycle) {
+                continue;
             }
+            completeSlot(*t, slot);
         }
-    }
-    for (const auto &dn : done) {
-        InFlightTrace *t = find(dn.uid);
-        if (!t)
-            continue;   // squashed by an earlier completion's side effects
-        DynSlot &d = t->slots[dn.slot];
-        if (!d.issued || d.completed || d.waitingBus ||
-            d.execDoneAt > curCycle) {
-            continue;
-        }
-        completeSlot(*t, dn.slot);
     }
 }
 

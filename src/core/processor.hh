@@ -14,12 +14,22 @@
  * instruction against the golden functional emulator, which checks the
  * entire control-independence machinery end to end: every control and
  * data repair must converge to the architectural execution.
+ *
+ * The completion and issue phases are structured as two-phase
+ * compute/commit: the compute half is per-PE work (scan a PE's own
+ * slots, issue/execute against the frozen register file) that can run
+ * across a barrier-stepped worker pool (cfg.peThreads — the paper's
+ * PEs really are independent elements), while every global side effect
+ * (ARB, rename, buses, events, frontend) commits serially in window
+ * order. Serial and threaded scheduling are therefore bit-identical by
+ * construction, and tests/test_pe_parallel.cc enforces it.
  */
 
 #ifndef TPROC_CORE_PROCESSOR_HH
 #define TPROC_CORE_PROCESSOR_HH
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +44,11 @@
 
 namespace tproc
 {
+
+namespace harness
+{
+class CyclePool;
+} // namespace harness
 
 /** Aggregate statistics for one simulation. */
 struct ProcessorStats
@@ -200,6 +215,39 @@ class Processor
     void reissueConsumersOf(PhysReg reg);
     /// @}
 
+    /** @name Two-phase compute/commit machinery (cfg.peThreads).
+     * The compute half of a phase is per-PE work that only reads
+     * global state and writes PE-local state; it runs across the
+     * CyclePool when one is attached (cfg.peThreads > 0) and inline
+     * otherwise. All global side effects stay in serial commit code
+     * ordered by window position, which is exactly the legacy serial
+     * scheduler's order — so stats are bit-identical by construction
+     * for every peThreads value. */
+    /// @{
+    /** Run fn(0..n-1) on the pool, or inline when none is attached.
+     *  Templated so the serial path keeps direct, inlinable calls —
+     *  the type-erased std::function exists only on the pooled path
+     *  (which already pays a barrier per phase). */
+    template <typename Fn>
+    void
+    forEachWindowEntry(size_t n, Fn &&fn)
+    {
+        if (peThreadPool) {
+            runOnPool(n, std::function<void(size_t)>(fn));
+            return;
+        }
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+    }
+    void runOnPool(size_t n, const std::function<void(size_t)> &fn);
+    /** Compute: collect window[wpos]'s completion-ready slots into
+     *  scanScratch[wpos] (strictly PE-local reads). */
+    void scanCompletions(size_t wpos);
+    /** Compute: one PE's local issue/execute pass (writes only its own
+     *  slots; reads the frozen register file). */
+    void issueTrace(InFlightTrace &t);
+    /// @}
+
     /** @name Recovery. */
     /// @{
     void recoverCond(InFlightTrace &t, int slot);
@@ -248,6 +296,23 @@ class Processor
     std::deque<BusRequest> busQueue;
     std::deque<CacheRequest> cacheQueue;
     std::vector<PhysReg> deferredFree;
+
+    /** One window entry's completion-scan output. (uid, slot) pairs
+     *  are snapshotted like the serial scheduler's done-list so the
+     *  commit phase revalidates against side effects the same way.
+     *  Cache-line aligned: adjacent entries are written by different
+     *  executors in the parallel scan. */
+    struct alignas(64) CompletionScan
+    {
+        TraceUid uid = invalidTraceUid;
+        std::vector<int> slots;
+    };
+
+    /** Worker pool for the compute phases; null when cfg.peThreads is
+     *  0 (the legacy inline serial scheduler). */
+    std::unique_ptr<harness::CyclePool> peThreadPool;
+    /** Per-window-entry scan output, reused across cycles. */
+    std::vector<CompletionScan> scanScratch;
 
     InsertMode insertMode;
 

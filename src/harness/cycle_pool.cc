@@ -1,0 +1,199 @@
+#include "harness/cycle_pool.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace tproc::harness
+{
+
+namespace
+{
+
+/** Wait tiers. Spinning covers the common multi-core case (the next
+ *  epoch, or the last straggler of one, is nanoseconds away); the
+ *  yield tier keeps single-core machines making progress; parking
+ *  bounds the idle burn when a pool sits unused between phases. */
+constexpr int spinIters = 1024;
+constexpr int yieldIters = 64;
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/** Spin-then-yield on pred; true if it held, false if the caller
+ *  should fall back to parking on the condition variable. */
+template <typename Pred>
+bool
+spinWait(Pred pred)
+{
+    for (int i = 0; i < spinIters; ++i) {
+        if (pred())
+            return true;
+        cpuRelax();
+    }
+    for (int i = 0; i < yieldIters; ++i) {
+        if (pred())
+            return true;
+        std::this_thread::yield();
+    }
+    return pred();
+}
+
+} // anonymous namespace
+
+CyclePool::CyclePool(unsigned threads_) : nthreads(threads_ < 1 ? 1 : threads_)
+{
+    workers.reserve(nthreads - 1);
+    for (unsigned w = 1; w < nthreads; ++w)
+        workers.emplace_back([this, w] { workerMain(w); });
+}
+
+CyclePool::~CyclePool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        shutdown.store(true, std::memory_order_release);
+    }
+    wakeWorkers.notify_all();
+    for (auto &t : workers)
+        t.join();
+}
+
+void
+CyclePool::recordError(size_t index) noexcept
+{
+    std::lock_guard<std::mutex> lock(errMutex);
+    if (!error || index < errorJob) {
+        error = std::current_exception();
+        errorJob = index;
+    }
+}
+
+void
+CyclePool::runShare(unsigned self)
+{
+    const std::function<void(size_t)> &fn = *job;
+    const size_t n = njobs;
+    for (size_t i = self; i < n; i += nthreads) {
+        try {
+            fn(i);
+        } catch (...) {
+            recordError(i);
+        }
+    }
+}
+
+void
+CyclePool::finishEpoch()
+{
+    if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last worker out: the caller is either still spinning (sees
+        // pending == 0 directly) or parked (the lock guarantees it is
+        // fully asleep before this notify, so the wake cannot be lost).
+        std::lock_guard<std::mutex> lock(mutex);
+        epochDone.notify_one();
+    }
+}
+
+void
+CyclePool::workerMain(unsigned self)
+{
+    // panic()/fatal() on a worker funnel to the caller as exceptions
+    // instead of killing the process mid-epoch.
+    ScopedErrorCapture capture;
+    uint64_t seen = 0;
+    for (;;) {
+        auto openedOrShutdown = [&] {
+            return epoch.load(std::memory_order_acquire) != seen ||
+                shutdown.load(std::memory_order_acquire);
+        };
+        if (!spinWait(openedOrShutdown)) {
+            std::unique_lock<std::mutex> lock(mutex);
+            wakeWorkers.wait(lock, openedOrShutdown);
+        }
+        if (shutdown.load(std::memory_order_acquire))
+            return;
+        ++seen;
+        runShare(self);
+        finishEpoch();
+    }
+}
+
+void
+CyclePool::rethrowFunneled(std::exception_ptr e)
+{
+    try {
+        std::rethrow_exception(e);
+    } catch (const SimError &err) {
+        if (ScopedErrorCapture::active())
+            throw;
+        // The caller has no capture: mirror panic()'s no-capture
+        // default (message + abort) rather than escaping as an
+        // uncaught exception from deep inside the cycle loop.
+        std::fprintf(stderr, "%s\n", err.what());
+        std::abort();
+    }
+    // Non-SimError exceptions propagate from the catch block above.
+}
+
+void
+CyclePool::run(size_t njobs_, const std::function<void(size_t)> &fn)
+{
+    if (njobs_ == 0)
+        return;
+    if (workers.empty() || njobs_ == 1) {
+        // Inline path: single-executor pools and degenerate one-job
+        // epochs run on the caller; exceptions propagate directly,
+        // which is exactly the serial scheduler's behaviour.
+        for (size_t i = 0; i < njobs_; ++i)
+            fn(i);
+        return;
+    }
+
+    // Publish the job plan, then open the epoch. The release bump
+    // pairs with spinning workers' acquire loads; the lock pairs with
+    // parked workers' predicate check under the same mutex. `error` is
+    // already null here: the only writers are pooled epochs, and every
+    // pooled exit below extracts-and-nulls it.
+    job = &fn;
+    njobs = njobs_;
+    pending.store(static_cast<unsigned>(workers.size()),
+                  std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        epoch.fetch_add(1, std::memory_order_release);
+    }
+    wakeWorkers.notify_all();
+
+    runShare(0);
+
+    auto drained = [&] {
+        return pending.load(std::memory_order_acquire) == 0;
+    };
+    if (!spinWait(drained)) {
+        std::unique_lock<std::mutex> lock(mutex);
+        epochDone.wait(lock, drained);
+    }
+    job = nullptr;
+
+    std::exception_ptr e;
+    {
+        std::lock_guard<std::mutex> lock(errMutex);
+        e = error;
+        error = nullptr;
+    }
+    if (e)
+        rethrowFunneled(e);
+}
+
+} // namespace tproc::harness

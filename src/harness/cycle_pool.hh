@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Barrier-stepped worker pool for intra-simulation parallelism.
+ *
+ * A CyclePool owns a fixed set of persistent worker threads stepped in
+ * epochs: each run() call distributes jobs 0..n-1 across the calling
+ * thread and the workers (job i runs on executor i % threads()), blocks
+ * until every job finished, and only then returns — a fork/join barrier
+ * per call. The processor invokes run() twice per simulated cycle
+ * (completion scan, local issue), so the handoff is tuned for that
+ * rate: waiters spin briefly, then yield, and only park on a condition
+ * variable when an epoch is genuinely late. That keeps multi-core
+ * handoffs in the sub-microsecond range while staying live (and merely
+ * slow) on a single-core machine.
+ *
+ * Error funnel: each worker thread holds a ScopedErrorCapture, so
+ * panic()/fatal() inside a job throw SimError on the worker instead of
+ * killing the process mid-epoch. Any exception a job escapes with is
+ * captured, the epoch still runs to completion, and the exception from
+ * the lowest job index is rethrown on the calling thread — the reported
+ * failure is deterministic no matter how the jobs interleaved. If the
+ * caller has no capture of its own, a funneled SimError falls back to
+ * panic()'s default behaviour (message to stderr, abort) instead of
+ * escaping as an uncaught exception.
+ */
+
+#ifndef TPROC_HARNESS_CYCLE_POOL_HH
+#define TPROC_HARNESS_CYCLE_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tproc::harness
+{
+
+class CyclePool
+{
+  public:
+    /**
+     * @param threads_ executor count INCLUDING the calling thread;
+     * values <= 1 spawn nothing and run() degenerates to an inline
+     * loop on the caller (bit-identical by construction — the
+     * contract test_cycle_pool pins).
+     */
+    explicit CyclePool(unsigned threads_);
+    ~CyclePool();
+
+    CyclePool(const CyclePool &) = delete;
+    CyclePool &operator=(const CyclePool &) = delete;
+
+    /** Executor count including the calling thread (>= 1). */
+    unsigned threads() const { return nthreads; }
+
+    /**
+     * Run job(0), ..., job(njobs - 1) across the executors and wait
+     * for all of them. Jobs must touch disjoint state (or only read
+     * shared state); the pool provides the cross-thread happens-before
+     * edges, not mutual exclusion. Must not be called re-entrantly
+     * from inside a job.
+     */
+    void run(size_t njobs, const std::function<void(size_t)> &job);
+
+  private:
+    void workerMain(unsigned self);
+    void runShare(unsigned self);
+    void finishEpoch();
+    void recordError(size_t index) noexcept;
+    [[noreturn]] static void rethrowFunneled(std::exception_ptr e);
+
+    const unsigned nthreads;
+
+    /** @name Epoch handoff.
+     * The hot path spins on the atomics; the mutex and condvars only
+     * back the parked slow path. epoch opens an epoch (bumped by run()
+     * with release, observed by workers with acquire — this publishes
+     * the job plan); pending counts workers still inside the epoch
+     * (decremented with release, drained by run() with acquire — this
+     * publishes the jobs' writes back to the caller). */
+    /// @{
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<unsigned> pending{0};
+    std::atomic<bool> shutdown{false};
+    std::mutex mutex;
+    std::condition_variable wakeWorkers;
+    std::condition_variable epochDone;
+    /// @}
+
+    /** Job plan for the open epoch; written before the epoch bump. */
+    const std::function<void(size_t)> *job = nullptr;
+    size_t njobs = 0;
+
+    /** First-failure funnel: the exception from the lowest job index. */
+    std::mutex errMutex;
+    std::exception_ptr error;
+    size_t errorJob = 0;
+
+    std::vector<std::thread> workers;
+};
+
+} // namespace tproc::harness
+
+#endif // TPROC_HARNESS_CYCLE_POOL_HH

@@ -374,6 +374,7 @@ SweepEngine::runPoint(const SweepPoint &p)
         } else {
             cfg = ProcessorConfig::forModel(p.model);
             cfg.verifyRetirement = p.verify;
+            cfg.peThreads = p.peThreads;
         }
         if (!p.traceDir.empty()) {
             // Replay mode: the trace file supplies both the program

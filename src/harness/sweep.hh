@@ -53,6 +53,17 @@ struct SweepPoint
     bool verify = true;
 
     /**
+     * Intra-simulation PE-compute threads
+     * (ProcessorConfig::peThreads; named models only — an explicit
+     * config carries its own). Stats are bit-identical for every
+     * value by contract (test_pe_parallel- and CI-enforced), so like
+     * traceDir this is an execution detail: it composes with
+     * sharding, resume, replay, and golden gating untouched and is
+     * not serialized into artifacts.
+     */
+    int peThreads = 0;
+
+    /**
      * Capture-once/replay-many: when set, the point runs off a
      * recorded trace in this directory (see replay::TraceStore) — the
      * first point to touch a (workload, seed, scale, maxInsts)

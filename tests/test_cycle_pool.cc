@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the barrier-stepped CyclePool: barrier semantics and
+ * cross-epoch ordering, exception funneling (including panic() ->
+ * SimError through ScopedErrorCapture), reuse across simulations, and
+ * the threads<=1 == inline-execution contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/cycle_pool.hh"
+
+namespace tproc::harness
+{
+
+namespace
+{
+
+TEST(CyclePool, BarrierCompletesEveryJobBeforeReturning)
+{
+    CyclePool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+    std::vector<int> hits(23, 0);
+    pool.run(hits.size(), [&](size_t i) { hits[i]++; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(CyclePool, EpochOrderingPublishesWritesAcrossEpochs)
+{
+    // Alternate read and write epochs: every job of a read epoch must
+    // observe ALL slots at the previous round's value — the barrier
+    // publishes every worker's writes before the next epoch starts,
+    // and no epoch may start before the previous one fully finished.
+    CyclePool pool(4);
+    constexpr int n = 16;
+    constexpr int rounds = 200;
+    std::vector<int> slots(n, -1);
+    for (int e = 0; e < rounds; ++e) {
+        pool.run(n, [&](size_t) {
+            for (int j = 0; j < n; ++j)
+                ASSERT_EQ(slots[j], e - 1);
+        });
+        pool.run(n, [&](size_t i) { slots[i] = e; });
+    }
+    for (int j = 0; j < n; ++j)
+        EXPECT_EQ(slots[j], rounds - 1);
+}
+
+TEST(CyclePool, ExceptionFromAWorkerPropagatesToTheCaller)
+{
+    CyclePool pool(4);
+    try {
+        pool.run(8, [](size_t i) {
+            if (i == 5)
+                throw std::runtime_error("job five failed");
+        });
+        FAIL() << "expected the worker exception to funnel out";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job five failed");
+    }
+
+    // The pool survives a failed epoch and keeps working.
+    std::atomic<int> count{0};
+    pool.run(8, [&](size_t) { count++; });
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(CyclePool, LowestJobIndexWinsWhenSeveralJobsThrow)
+{
+    // Jobs 2, 5, 8, 11, 14 all throw, on different executors; the
+    // funneled exception must deterministically be job 2's no matter
+    // how the epoch interleaved.
+    CyclePool pool(4);
+    for (int rep = 0; rep < 20; ++rep) {
+        try {
+            pool.run(16, [](size_t i) {
+                if (i % 3 == 2)
+                    throw std::runtime_error("job " + std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "job 2");
+        }
+    }
+}
+
+TEST(CyclePool, PanicOnAWorkerFunnelsAsSimError)
+{
+    // panic() inside a job lands on a worker thread; the worker's
+    // ScopedErrorCapture turns it into a SimError that must surface on
+    // the calling thread (which holds its own capture here, as the
+    // sweep harness does).
+    CyclePool pool(2);
+    ScopedErrorCapture capture;
+    EXPECT_THROW(pool.run(4,
+                          [](size_t i) {
+                              if (i == 3)
+                                  panic("worker panic at job %zu", i);
+                          }),
+                 SimError);
+}
+
+TEST(CyclePool, ReuseAcrossSimulations)
+{
+    // One pool drives two back-to-back "simulations" whose per-epoch
+    // job count grows and shrinks (the processor's window does the
+    // same); accumulated state must match the serial reference.
+    CyclePool pool(3);
+    constexpr size_t n = 17;
+    for (int sim = 0; sim < 2; ++sim) {
+        std::vector<uint64_t> acc(n, 0);
+        for (uint64_t cycle = 1; cycle <= 50; ++cycle) {
+            const size_t jobs = 1 + (cycle % n);
+            pool.run(jobs, [&](size_t i) { acc[i] += cycle; });
+        }
+        std::vector<uint64_t> expect(n, 0);
+        for (uint64_t cycle = 1; cycle <= 50; ++cycle) {
+            const size_t jobs = 1 + (cycle % n);
+            for (size_t i = 0; i < jobs; ++i)
+                expect[i] += cycle;
+        }
+        EXPECT_EQ(acc, expect) << "simulation " << sim;
+    }
+}
+
+TEST(CyclePool, OneThreadRunsInlineOnTheCaller)
+{
+    CyclePool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ids(9);
+    pool.run(ids.size(),
+             [&](size_t i) { ids[i] = std::this_thread::get_id(); });
+    for (const auto &id : ids)
+        EXPECT_EQ(id, caller);
+
+    // threads == 0 clamps to one inline executor.
+    CyclePool zero(0);
+    EXPECT_EQ(zero.threads(), 1u);
+    bool ran = false;
+    zero.run(1, [&](size_t) { ran = true; });
+    EXPECT_TRUE(ran);
+}
+
+TEST(CyclePool, InlinePathPropagatesExceptionsDirectly)
+{
+    CyclePool pool(1);
+    EXPECT_THROW(pool.run(3,
+                          [](size_t i) {
+                              if (i == 1)
+                                  throw std::logic_error("inline");
+                          }),
+                 std::logic_error);
+}
+
+TEST(CyclePool, ZeroJobsIsANoOp)
+{
+    CyclePool pool(4);
+    pool.run(0, [](size_t) { FAIL() << "no job should run"; });
+}
+
+TEST(CyclePool, MoreExecutorsThanJobs)
+{
+    CyclePool pool(8);
+    std::vector<int> hits(3, 0);
+    for (int e = 0; e < 50; ++e)
+        pool.run(hits.size(), [&](size_t i) { hits[i]++; });
+    for (int h : hits)
+        EXPECT_EQ(h, 50);
+}
+
+} // namespace
+
+} // namespace tproc::harness

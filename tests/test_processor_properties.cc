@@ -9,8 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/random.hh"
 #include "core/processor.hh"
 #include "core/runner.hh"
+#include "harness/golden.hh"
+#include "harness/sweep.hh"
 #include "workloads/workloads.hh"
 
 namespace tproc
@@ -116,6 +122,114 @@ TEST(ProcessorProperties, SmallMachineStillCorrect)
     cfg.dcache.sizeBytes = 4 * 1024;
     ProcessorStats s = runConfig(w.program, cfg);
     EXPECT_GT(s.retiredInsts, 5000u);
+}
+
+namespace
+{
+
+/** One verdict of a run that may legitimately panic (some random
+ *  machine shapes sit outside the simulator's liveness envelope, e.g.
+ *  starved buses with shortened traces — a pre-existing corner). */
+struct RunOutcome
+{
+    bool ok = false;
+    StatDict stats;
+    std::string error;
+};
+
+RunOutcome
+tryRunConfig(const Program &prog, const ProcessorConfig &cfg,
+             uint64_t max_insts)
+{
+    RunOutcome out;
+    try {
+        ScopedErrorCapture capture;
+        out.stats = harness::statsToDict(runConfig(prog, cfg, max_insts));
+        out.ok = true;
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(ProcessorProperties, RandomConfigsSerialVsThreadedIdentical)
+{
+    // Randomized differential property for the per-PE parallel cycle
+    // loop: the golden workloads pin the two reference configurations,
+    // this pins the corners — random machine shapes on random
+    // workload/seed pairs must behave identically between the serial
+    // scheduler (peThreads=0) and the threaded compute phases
+    // (peThreads=4): bit-identical StatDicts on success, and the very
+    // same panic on configs outside the liveness envelope. Seeded, so
+    // a failure reproduces exactly.
+    const char *wls[] = {"compress", "gcc", "go", "jpeg", "li",
+                         "m88ksim", "perl", "vortex"};
+    const char *models[] = {"base", "base(ntb)", "base(fg)",
+                            "base(fg,ntb)", "RET", "MLB-RET", "FG",
+                            "FG+MLB-RET"};
+    Rng rng(0x5eedf00d);
+    int succeeded = 0;
+    for (int round = 0; round < 20; ++round) {
+        const char *wl = wls[rng.below(8)];
+        const char *model = models[rng.below(8)];
+        const uint64_t seed =
+            static_cast<uint64_t>(rng.range(1, 1 << 20));
+        ProcessorConfig cfg = ProcessorConfig::forModel(model);
+        cfg.numPEs = static_cast<int>(1u << rng.below(5));  // 1..16
+        cfg.issuePerPe = static_cast<int>(rng.range(1, 4));
+        cfg.globalBuses = static_cast<int>(rng.range(1, 8));
+        cfg.maxBusesPerPe =
+            static_cast<int>(rng.range(1, cfg.globalBuses));
+        cfg.cacheBuses = static_cast<int>(rng.range(1, 8));
+        cfg.maxCacheBusesPerPe =
+            static_cast<int>(rng.range(1, cfg.cacheBuses));
+        const int len = static_cast<int>(rng.range(8, 32));
+        cfg.selection.maxTraceLen = len;
+        cfg.bit.maxTraceLen = len;
+        // Out-of-envelope shapes deadlock; make the watchdog bark
+        // quickly so those rounds don't dominate the test's runtime
+        // (the panic cycle stays deterministic and identical).
+        cfg.watchdogCycles = 20000;
+
+        Workload w = makeWorkload(wl, seed, 0.01);
+        constexpr uint64_t insts = 8000;
+        cfg.peThreads = 0;
+        const RunOutcome serial = tryRunConfig(w.program, cfg, insts);
+        cfg.peThreads = 4;
+        const RunOutcome threaded = tryRunConfig(w.program, cfg, insts);
+
+        std::ostringstream id;
+        id << "round " << round << " (" << wl << "/" << model
+           << " seed " << seed << ", " << cfg.numPEs << " PEs, issue "
+           << cfg.issuePerPe << ", buses " << cfg.globalBuses << "/"
+           << cfg.cacheBuses << ", len " << len << ")";
+
+        ASSERT_EQ(serial.ok, threaded.ok)
+            << id.str() << ": serial "
+            << (serial.ok ? "succeeded" : "failed: " + serial.error)
+            << ", threaded "
+            << (threaded.ok ? "succeeded" : "failed: " + threaded.error);
+        if (!serial.ok) {
+            // Outside the envelope: both must fail at the same point
+            // with the same diagnostic.
+            EXPECT_EQ(serial.error, threaded.error) << id.str();
+            continue;
+        }
+        ++succeeded;
+        if (serial.stats == threaded.stats)
+            continue;
+        std::ostringstream os;
+        os << id.str() << ":";
+        for (const auto &d :
+             harness::diffStatDicts(serial.stats, threaded.stats))
+            os << " " << d.key << "=" << d.expected << " vs "
+               << d.actual;
+        ADD_FAILURE() << os.str();
+    }
+    // The property must not silently degenerate into comparing panics.
+    EXPECT_GE(succeeded, 10);
 }
 
 TEST(ProcessorProperties, SingleIssueWidePeSweep)

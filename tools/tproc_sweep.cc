@@ -6,13 +6,19 @@
  *
  * Sweep usage:
  *   tproc-sweep [--workloads=a,b,...] [--models=a,b,...] [--insts=N]
- *               [--seed=S] [--threads=T] [--shard=I/N] [--resume=FILE]
- *               [--retries=R] [--json=FILE] [--merged-json=FILE]
- *               [--trace-dir=DIR] [--golden=DIR] [--write-golden=DIR]
- *               [--no-verify] [--quiet]
+ *               [--seed=S] [--threads=T] [--pe-threads=P] [--shard=I/N]
+ *               [--resume=FILE] [--retries=R] [--json=FILE]
+ *               [--merged-json=FILE] [--trace-dir=DIR] [--golden=DIR]
+ *               [--write-golden=DIR] [--no-verify] [--quiet]
  *
  * Merge usage:
  *   tproc-sweep merge [--out=FILE] shard0.json shard1.json ...
+ *
+ * --threads fans points across engine workers; --pe-threads=P
+ * additionally parallelizes INSIDE each simulation (P executors for
+ * the per-PE compute phases, ProcessorConfig::peThreads). Stats are
+ * bit-identical for every P by contract, so it composes with every
+ * other flag; the default 0 keeps the legacy serial cycle loop.
  *
  * --trace-dir=DIR runs every point in capture-once/replay-many mode:
  * the first point to touch a workload records its architectural trace
@@ -69,8 +75,9 @@ usage(std::ostream &os)
 {
     os << "usage: tproc-sweep [--workloads=a,b,...] [--models=a,b,...]\n"
           "                   [--insts=N] [--seed=S] [--threads=T]\n"
-          "                   [--shard=I/N] [--resume=FILE] "
-          "[--retries=R]\n"
+          "                   [--pe-threads=P] [--shard=I/N] "
+          "[--resume=FILE]\n"
+          "                   [--retries=R]\n"
           "                   [--json=FILE] [--merged-json=FILE]\n"
           "                   [--trace-dir=DIR] [--golden=DIR]\n"
           "                   [--write-golden=DIR] [--no-verify] "
@@ -228,6 +235,7 @@ main(int argc, char **argv)
     uint64_t insts = 400000;
     uint64_t seed = 1;
     unsigned threads = 0;
+    unsigned pe_threads = 0;
     unsigned retries = 1;
     unsigned shard = 0;
     unsigned shard_count = 0;
@@ -253,6 +261,9 @@ main(int argc, char **argv)
         } else if (parseArg(argv[i], "--threads", v)) {
             threads = static_cast<unsigned>(std::strtoul(v.c_str(),
                                                          nullptr, 10));
+        } else if (parseArg(argv[i], "--pe-threads", v)) {
+            pe_threads = static_cast<unsigned>(std::strtoul(v.c_str(),
+                                                            nullptr, 10));
         } else if (parseArg(argv[i], "--retries", v)) {
             retries = static_cast<unsigned>(std::strtoul(v.c_str(),
                                                          nullptr, 10));
@@ -292,12 +303,16 @@ main(int argc, char **argv)
 
     auto grid =
         harness::crossPoints(workloads, models, seed, insts, verify);
-    // Replay mode is a per-point execution detail: indices, seeds, and
-    // stats are identical to a live run, so it composes with sharding
-    // and resume untouched.
+    // Replay mode and intra-PE parallelism are per-point execution
+    // details: indices, seeds, and stats are identical to a live
+    // serial run, so both compose with sharding and resume untouched.
     if (!trace_dir.empty()) {
         for (auto &p : grid)
             p.traceDir = trace_dir;
+    }
+    if (pe_threads) {
+        for (auto &p : grid)
+            p.peThreads = static_cast<int>(pe_threads);
     }
     auto points =
         shard_count ? harness::shardPoints(grid, shard, shard_count)
@@ -365,7 +380,10 @@ main(int argc, char **argv)
         }
         std::cerr << ", " << engine.effectiveThreads(points.size())
                   << " threads, " << insts << " insts/point, seed "
-                  << seed << (verify ? ", verified" : "") << "\n";
+                  << seed << (verify ? ", verified" : "");
+        if (pe_threads)
+            std::cerr << ", " << pe_threads << " PE threads/point";
+        std::cerr << "\n";
     }
 
     auto results = engine.run(points);
