@@ -25,6 +25,8 @@
 #include <unistd.h>
 
 #include "bench/common.hh"
+#include "replay/capture.hh"
+#include "replay/trace_store.hh"
 
 using namespace tproc;
 
@@ -169,6 +171,44 @@ main()
     double pe_serial_s = bestOf(0, pe_serial_res);
     double pe_par_s = bestOf(static_cast<int>(pe_threads), pe_par_res);
 
+    // Trace-size accounting: total on-disk bytes of the (compressed,
+    // v2) traces the replay passes ran off, and the compression ratio
+    // on the slowest point's workload — measured against a freshly
+    // captured uncompressed (v1) twin of the same identity.
+    uintmax_t trace_dir_bytes = 0;
+    for (const auto &e : std::filesystem::directory_iterator(trace_dir)) {
+        if (e.path().extension() == ".tpt")
+            trace_dir_bytes += std::filesystem::file_size(e.path());
+    }
+    // A failure here (disk full, replay dir disturbed) must neither
+    // abort the bench after all timing work is done nor report a
+    // garbage ratio: trace_ratio simply stays 0 ("not measured").
+    double trace_ratio = 0.0;
+    try {
+        const harness::SweepPoint &sp = replay_points[slowest];
+        replay::TraceStore store(trace_dir.string());
+        const std::string v2_path =
+            store.tracePath(sp.workload, sp.seed, sp.scale, sp.maxInsts);
+        const std::string v1_path =
+            (trace_dir / "uncompressed_twin.v1.tpt").string();
+        std::error_code szec;
+        const auto v2_bytes = std::filesystem::file_size(v2_path, szec);
+        if (!szec && v2_bytes > 0) {
+            replay::captureWorkloadTrace(sp.workload, sp.seed, sp.scale,
+                                         sp.maxInsts, v1_path,
+                                         /*compress=*/false);
+            const auto v1_bytes =
+                std::filesystem::file_size(v1_path, szec);
+            if (!szec && v1_bytes > 0) {
+                trace_ratio = static_cast<double>(v1_bytes) /
+                    static_cast<double>(v2_bytes);
+            }
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "  (compression-ratio probe failed: " << e.what()
+                  << ")\n";
+    }
+
     std::error_code ec;
     std::filesystem::remove_all(trace_dir, ec);
 
@@ -217,6 +257,10 @@ main()
               << (identical && replay_identical ? "bit-identical"
                                                 : "DIVERGED")
               << ", " << failed << " failed points\n";
+    std::cout << "traces: " << trace_dir_bytes
+              << " bytes on disk (v2 compressed), "
+              << fmtDouble(trace_ratio, 2) << "x smaller than v1 on "
+              << replay_points[slowest].workload << "\n";
 
     auto peWall = [](const harness::SweepResult &r, double s) {
         return r.ok ? fmtDouble(s, 3) : std::string("FAILED");
@@ -270,6 +314,9 @@ main()
         << std::thread::hardware_concurrency() << ",\n"
         << "  \"speedup\": " << jsonNumber(speedup) << ",\n"
         << "  \"replay_speedup\": " << jsonNumber(replay_speedup)
+        << ",\n"
+        << "  \"trace_dir_bytes\": " << trace_dir_bytes << ",\n"
+        << "  \"trace_compression_ratio\": " << jsonNumber(trace_ratio)
         << ",\n"
         << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
         << "  \"replay_identical\": "

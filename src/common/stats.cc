@@ -321,8 +321,8 @@ class JsonParser
     [[noreturn]] void
     fail(const std::string &what) const
     {
-        throw std::runtime_error("json: " + what + " at byte " +
-                                 std::to_string(pos));
+        throw JsonParseError("json: " + what + " at byte " +
+                             std::to_string(pos));
     }
 
     void

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -131,8 +132,21 @@ class JsonValue
 };
 
 /**
- * Parse one JSON document. Throws std::runtime_error (with a byte
- * offset) on malformed input or trailing garbage.
+ * What parseJson throws on malformed input: syntactically broken JSON
+ * (a torn journal tail, truncated artifact, non-JSON garbage). Derives
+ * from std::runtime_error, so existing broad handlers keep working;
+ * catch this type specifically to treat "could not even parse" apart
+ * from "parsed fine but semantically invalid" (the accessors below
+ * throw plain std::runtime_error for those).
+ */
+struct JsonParseError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Parse one JSON document. Throws JsonParseError (with a byte offset)
+ * on malformed input or trailing garbage.
  */
 JsonValue parseJson(const std::string &text);
 

@@ -41,16 +41,33 @@ SweepJournal::load(const std::string &path, size_t *skipped)
     if (!in)
         return records;
     std::string line;
+    size_t line_no = 0;
     while (std::getline(in, line)) {
+        ++line_no;
         if (line.find_first_not_of(" \t\r") == std::string::npos)
             continue;
+        JsonValue doc;
         try {
-            records.push_back(resultFromJson(parseJson(line)));
-        } catch (const std::exception &) {
-            // A truncated final line is the expected footprint of a
-            // mid-write kill; drop it and let the point re-run.
+            doc = parseJson(line);
+        } catch (const JsonParseError &) {
+            // A line that does not even parse is the expected
+            // footprint of a mid-write kill (a torn tail); drop it,
+            // count it, and let the point re-run. Only this narrow
+            // case is skippable: a line that parses but fails to
+            // decode below is a journal from another world (schema
+            // drift, hand edits) and silently re-running its point
+            // would mask that, so the decode error propagates.
             if (skipped)
                 ++*skipped;
+            continue;
+        }
+        try {
+            records.push_back(resultFromJson(doc));
+        } catch (const std::exception &e) {
+            throw std::runtime_error(
+                "journal: " + path + " line " + std::to_string(line_no) +
+                " parses as JSON but is not a sweep record (" + e.what() +
+                "); refusing to resume from a corrupt journal");
         }
     }
     return records;
@@ -69,7 +86,8 @@ pointModelName(const SweepPoint &p)
 
 ResumePlan
 planResume(const std::vector<SweepPoint> &points,
-           const std::vector<SweepResult> &journal, unsigned maxAttempts)
+           const std::vector<SweepResult> &journal, unsigned maxAttempts,
+           size_t skippedLines)
 {
     struct Seen
     {
@@ -84,6 +102,7 @@ planResume(const std::vector<SweepPoint> &points,
     }
 
     ResumePlan plan;
+    plan.skippedLines = skippedLines;
     for (const auto &p : points) {
         auto it = byIndex.find(p.index);
         if (it == byIndex.end()) {

@@ -41,9 +41,14 @@ class SweepJournal
     const std::string &path() const { return filePath; }
 
     /**
-     * Parse every well-formed record in path (missing file -> empty).
-     * Undecodable lines — typically one final line truncated by a
-     * mid-write kill — are skipped and counted into *skipped.
+     * Parse every record in path (missing file -> empty). Lines that
+     * are not even syntactically JSON — typically one final line
+     * truncated by a mid-write kill — are skipped and counted into
+     * *skipped. A line that parses as JSON but does not decode as a
+     * sweep record is NOT skippable: it means the journal is from a
+     * different schema or was edited, and silently re-running its
+     * point would mask that, so load throws std::runtime_error naming
+     * the line instead.
      */
     static std::vector<SweepResult> load(const std::string &path,
                                          size_t *skipped = nullptr);
@@ -68,6 +73,11 @@ struct ResumePlan
     size_t completed = 0;  //!< reused records that succeeded
     size_t retried = 0;    //!< failed records queued for a clean re-run
     size_t exhausted = 0;  //!< failures kept: attempt budget spent
+
+    /** Journal lines dropped as unparseable (torn mid-write tail),
+     *  carried from load() so resume consumers can warn that those
+     *  points will re-run. */
+    size_t skippedLines = 0;
 };
 
 /**
@@ -78,11 +88,13 @@ struct ResumePlan
  * shared journal from another shard) are ignored; a record whose
  * workload/model/seed/max_insts disagree with the point at its index
  * means the journal belongs to a different sweep, and throws
- * std::runtime_error rather than merge garbage.
+ * std::runtime_error rather than merge garbage. skippedLines (the
+ * count load() reported) rides through into the plan so the caller
+ * can warn about silently re-run work in one place.
  */
 ResumePlan planResume(const std::vector<SweepPoint> &points,
                       const std::vector<SweepResult> &journal,
-                      unsigned maxAttempts);
+                      unsigned maxAttempts, size_t skippedLines = 0);
 
 } // namespace tproc::harness
 

@@ -16,9 +16,9 @@ captureCapFor(uint64_t max_insts)
 
 CaptureResult
 captureProgramTrace(const Program &prog, const TraceMeta &meta,
-                    const std::string &path)
+                    const std::string &path, bool compress)
 {
-    TraceWriter writer(path, meta, prog);
+    TraceWriter writer(path, meta, prog, compress);
     Emulator emu(prog);
     emu.setStepObserver(
         [&writer](const StepResult &s) { writer.append(s); });
@@ -35,7 +35,7 @@ captureProgramTrace(const Program &prog, const TraceMeta &meta,
 CaptureResult
 captureWorkloadTrace(const std::string &workload, uint64_t seed,
                      double scale, uint64_t max_insts,
-                     const std::string &path)
+                     const std::string &path, bool compress)
 {
     const Workload w = makeWorkload(workload, seed, scale);
     TraceMeta meta;
@@ -44,7 +44,7 @@ captureWorkloadTrace(const std::string &workload, uint64_t seed,
     meta.scale = scale;
     meta.captureCap = captureCapFor(max_insts);
     meta.programName = w.program.name;
-    return captureProgramTrace(w.program, meta, path);
+    return captureProgramTrace(w.program, meta, path, compress);
 }
 
 } // namespace tproc::replay

@@ -38,12 +38,14 @@ struct CaptureResult
 
 /**
  * Emulate prog for up to meta.captureCap steps, recording every step
- * to path (atomically: temp file + rename). Throws TraceError on I/O
+ * to path (atomically: temp file + rename). compress selects the
+ * container version (see TraceWriter). Throws TraceError on I/O
  * failure.
  */
 CaptureResult captureProgramTrace(const Program &prog,
                                   const TraceMeta &meta,
-                                  const std::string &path);
+                                  const std::string &path,
+                                  bool compress = true);
 
 /**
  * Capture a named workload (makeWorkload identity): builds the program
@@ -55,7 +57,8 @@ CaptureResult captureProgramTrace(const Program &prog,
 CaptureResult captureWorkloadTrace(const std::string &workload,
                                    uint64_t seed, double scale,
                                    uint64_t max_insts,
-                                   const std::string &path);
+                                   const std::string &path,
+                                   bool compress = true);
 
 } // namespace tproc::replay
 

@@ -8,6 +8,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "replay/codec.hh"
+
 namespace tproc::replay
 {
 
@@ -37,6 +39,22 @@ bitsDouble(uint64_t bits)
     std::memcpy(&v, &bits, sizeof(v));
     return v;
 }
+
+/**
+ * Decoded PROGZ/STPZ plaintext may legitimately dwarf its compressed
+ * bytes, but a corrupt or malicious file must not drive huge
+ * allocations: the budget is enforced per chunk AND cumulatively
+ * across the whole file, so a tiny crafted trace full of
+ * RLE-amplified chunks cannot balloon stepData without bound. 256 MiB
+ * covers step streams orders of magnitude past the current capture
+ * caps (a 20k-instruction golden trace decodes to ~250 KiB).
+ */
+constexpr uint64_t maxPlainTraceBytes = uint64_t{1} << 28;
+
+/** Upfront reserve cap for counts read from (possibly lying) chunk
+ *  headers; vectors grow geometrically past it only as real decoded
+ *  data materializes. */
+constexpr uint64_t maxUpfrontReserve = uint64_t{1} << 20;
 
 std::string
 encodeMeta(const TraceMeta &meta)
@@ -76,6 +94,140 @@ encodeProgram(const Program &prog)
     return p;
 }
 
+/** The v2 PROGZ plaintext (see trace_file.hh): per-field code planes,
+ *  and the sorted data image dict-coded as address deltas + values. */
+std::string
+encodeProgramV2(const Program &prog)
+{
+    std::string p;
+    putVarint(p, prog.entry);
+    putVarint(p, prog.code.size());
+    std::string rd, rs1, rs2, imms;
+    for (const Instruction &inst : prog.code) {
+        p.push_back(static_cast<char>(inst.op));
+        rd.push_back(static_cast<char>(inst.rd));
+        rs1.push_back(static_cast<char>(inst.rs1));
+        rs2.push_back(static_cast<char>(inst.rs2));
+        putSvarint(imms, inst.imm);
+    }
+    p += rd;
+    p += rs1;
+    p += rs2;
+    putVarint(p, imms.size());
+    p += imms;
+
+    std::vector<std::pair<Addr, int64_t>> init(prog.dataInit.begin(),
+                                               prog.dataInit.end());
+    std::sort(init.begin(), init.end());
+    putVarint(p, init.size());
+    std::string addrs, values;
+    Addr prev = 0;
+    for (const auto &[addr, value] : init) {
+        putVarint(addrs, addr - prev);
+        prev = addr;
+        putSvarint(values, value);
+    }
+    putVarint(p, addrs.size());
+    p += addrs;
+    p += values;
+    return p;
+}
+
+/** Append the raw bytes of one varint from c to out, unparsed. */
+void
+copyVarint(ByteCursor &c, std::string &out)
+{
+    for (int i = 0; i < 10; ++i) {
+        const uint8_t b = c.u8();
+        out.push_back(static_cast<char>(b));
+        if (!(b & 0x80))
+            return;
+    }
+    throw TraceError("varint longer than 64 bits");
+}
+
+/** Interleaved v1 step records -> the STPZ column plaintext. Pure
+ *  byte regrouping: every varint is copied verbatim, never re-coded. */
+std::string
+stepColumnsFromInterleaved(const char *data, size_t n, uint32_t records)
+{
+    ByteCursor c(data, n);
+    std::string flags, pcd, npc, dest, mema, memv;
+    for (uint32_t i = 0; i < records; ++i) {
+        const uint8_t f = c.u8();
+        if (f & ~0x1fu)
+            throw TraceError("invalid step flags");
+        flags.push_back(static_cast<char>(f));
+        copyVarint(c, pcd);
+        if (!(f & 16))
+            copyVarint(c, npc);
+        if (f & 2)
+            copyVarint(c, dest);
+        if (f & 4) {
+            copyVarint(c, mema);
+            copyVarint(c, memv);
+        }
+    }
+    if (!c.atEnd())
+        throw TraceError("trailing bytes in step records");
+    std::string out;
+    out.reserve(n + 12);
+    for (const std::string *s : {&flags, &pcd, &npc, &dest, &mema,
+                                 &memv}) {
+        putVarint(out, s->size());
+        out.append(*s);
+    }
+    return out;
+}
+
+/** Inverse of stepColumnsFromInterleaved; byte-exact by construction,
+ *  so the reconstructed records feed the END stream digest unchanged. */
+std::string
+stepInterleavedFromColumns(const char *data, size_t n, uint32_t records)
+{
+    ByteCursor c(data, n);
+    ByteCursor streams[6] = {{nullptr, 0}, {nullptr, 0}, {nullptr, 0},
+                             {nullptr, 0}, {nullptr, 0}, {nullptr, 0}};
+    size_t flags_len = 0;
+    for (int s = 0; s < 6; ++s) {
+        const uint64_t len = c.varint();
+        if (len > c.remaining())
+            throw TraceError("step column stream exceeds chunk");
+        if (s == 0)
+            flags_len = static_cast<size_t>(len);
+        streams[s] = ByteCursor(c.take(static_cast<size_t>(len)),
+                                static_cast<size_t>(len));
+    }
+    if (!c.atEnd())
+        throw TraceError("trailing bytes after step column streams");
+    if (flags_len != records)
+        throw TraceError("step flag column disagrees with record count");
+
+    ByteCursor &fc = streams[0];
+    std::string out;
+    out.reserve(n);
+    for (uint32_t i = 0; i < records; ++i) {
+        const uint8_t f = fc.u8();
+        if (f & ~0x1fu)
+            throw TraceError("invalid step flags");
+        out.push_back(static_cast<char>(f));
+        copyVarint(streams[1], out);
+        if (!(f & 16))
+            copyVarint(streams[2], out);
+        if (f & 2)
+            copyVarint(streams[3], out);
+        if (f & 4) {
+            copyVarint(streams[4], out);
+            copyVarint(streams[5], out);
+        }
+    }
+    for (int s = 1; s < 6; ++s) {
+        if (!streams[s].atEnd())
+            throw TraceError("trailing bytes in step column stream");
+    }
+    return out;
+}
+
 /** The chunk digest covers the serialized header fields + payload. */
 uint64_t
 chunkDigest(ChunkType type, uint32_t payload_len, uint32_t records,
@@ -96,23 +248,30 @@ chunkDigest(ChunkType type, uint32_t payload_len, uint32_t records,
 // ---------------------------------------------------------------------
 
 TraceWriter::TraceWriter(std::string path, const TraceMeta &meta,
-                         const Program &prog)
+                         const Program &prog, bool compress)
     : finalPath(std::move(path)), tmpPath(uniqueTmpPath(finalPath)),
-      out(tmpPath, std::ios::binary | std::ios::trunc)
+      out(tmpPath, std::ios::binary | std::ios::trunc),
+      compressed(compress)
 {
     if (!out)
         throw TraceError("cannot create trace file " + tmpPath);
 
     std::string header(traceMagic, sizeof(traceMagic));
-    putU32(header, traceVersion);
+    putU32(header, compressed ? traceVersion2 : traceVersion1);
     out.write(header.data(), static_cast<std::streamsize>(header.size()));
 
     writeChunk(ChunkType::META, 0, encodeMeta(meta));
-    writeChunk(ChunkType::PROG, 0, encodeProgram(prog));
+    if (compressed)
+        writeCompressedChunk(ChunkType::PROGZ, 0, encodeProgramV2(prog));
+    else
+        writeChunk(ChunkType::PROG, 0, encodeProgram(prog));
 }
 
 TraceWriter::~TraceWriter()
 {
+    // A writer abandoned before finalize() — scope exit, an exception
+    // anywhere between construction and finalize, a failed finalize —
+    // must not leak its temp file; the final path was never touched.
     if (!finalized) {
         out.close();
         std::remove(tmpPath.c_str());
@@ -131,6 +290,19 @@ TraceWriter::writeChunk(ChunkType type, uint32_t records,
     buf.append(payload);
     putU64(buf, chunkDigest(type, len, records, payload));
     out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+void
+TraceWriter::writeCompressedChunk(ChunkType type, uint32_t records,
+                                  const std::string &plain)
+{
+    const CodecResult comp = codecCompress(plain);
+    std::string payload;
+    payload.push_back(static_cast<char>(comp.codec));
+    putVarint(payload, plain.size());
+    putU64(payload, fnv1a(plain.data(), plain.size()));
+    payload.append(comp.bytes);
+    writeChunk(type, records, payload);
 }
 
 void
@@ -174,8 +346,17 @@ TraceWriter::flushSteps()
 {
     if (!stepRecords)
         return;
+    // The stream digest always covers the interleaved v1 record bytes,
+    // so recompressing a trace preserves its END digest bit for bit.
     streamFnv = fnv1a(stepPayload.data(), stepPayload.size(), streamFnv);
-    writeChunk(ChunkType::STEPS, stepRecords, stepPayload);
+    if (compressed) {
+        writeCompressedChunk(
+            ChunkType::STPZ, stepRecords,
+            stepColumnsFromInterleaved(stepPayload.data(),
+                                       stepPayload.size(), stepRecords));
+    } else {
+        writeChunk(ChunkType::STEPS, stepRecords, stepPayload);
+    }
     stepPayload.clear();
     stepRecords = 0;
 }
@@ -266,14 +447,77 @@ TraceReader::decodeProgram(ByteCursor c)
 }
 
 void
+TraceReader::decodeProgramV2(ByteCursor c)
+{
+    prog.entry = static_cast<Addr>(c.varint());
+    prog.name = inf.meta.programName;
+    const uint64_t code_size = c.varint();
+    // Four fixed plane bytes + >= 1 imm byte per instruction follow.
+    if (code_size > c.remaining() / 5)
+        throw TraceError("PROG code count exceeds chunk size");
+    const size_t nc = static_cast<size_t>(code_size);
+    const char *ops = c.take(nc);
+    const char *rd = c.take(nc);
+    const char *rs1 = c.take(nc);
+    const char *rs2 = c.take(nc);
+    const uint64_t imm_len = c.varint();
+    if (imm_len > c.remaining())
+        throw TraceError("PROG imm stream exceeds chunk size");
+    ByteCursor ic(c.take(static_cast<size_t>(imm_len)),
+                  static_cast<size_t>(imm_len));
+    prog.code.reserve(static_cast<size_t>(
+        std::min<uint64_t>(code_size, maxUpfrontReserve)));
+    for (size_t i = 0; i < nc; ++i) {
+        Instruction inst;
+        const auto op = static_cast<uint8_t>(ops[i]);
+        if (op >= static_cast<uint8_t>(Opcode::NUM_OPCODES))
+            throw TraceError("PROG chunk holds an invalid opcode");
+        inst.op = static_cast<Opcode>(op);
+        inst.rd = static_cast<uint8_t>(rd[i]);
+        inst.rs1 = static_cast<uint8_t>(rs1[i]);
+        inst.rs2 = static_cast<uint8_t>(rs2[i]);
+        inst.imm = ic.svarint();
+        prog.code.push_back(inst);
+    }
+    if (!ic.atEnd())
+        throw TraceError("trailing bytes in PROG imm stream");
+
+    const uint64_t data_count = c.varint();
+    const uint64_t addr_len = c.varint();
+    if (addr_len > c.remaining())
+        throw TraceError("PROG address stream exceeds chunk size");
+    ByteCursor ac(c.take(static_cast<size_t>(addr_len)),
+                  static_cast<size_t>(addr_len));
+    // Each entry costs >= 1 address byte and >= 1 value byte.
+    if (data_count > addr_len || data_count > c.remaining())
+        throw TraceError("PROG data count exceeds chunk size");
+    prog.dataInit.reserve(static_cast<size_t>(
+        std::min<uint64_t>(data_count, maxUpfrontReserve)));
+    Addr addr = 0;
+    for (uint64_t i = 0; i < data_count; ++i) {
+        addr += static_cast<Addr>(ac.varint());
+        prog.dataInit[addr] = c.svarint();
+    }
+    if (!ac.atEnd())
+        throw TraceError("trailing bytes in PROG address stream");
+    if (!c.atEnd())
+        throw TraceError("trailing bytes in PROG chunk");
+    inf.codeSize = prog.code.size();
+    inf.dataInitSize = prog.dataInit.size();
+}
+
+void
 TraceReader::parseContainer(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        throw TraceError("cannot open trace file " + path);
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    data = ss.str();
+    std::string data;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            throw TraceError("cannot open trace file " + path);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        data = ss.str();
+    }
     inf.fileBytes = data.size();
 
     if (data.size() < 8 ||
@@ -283,12 +527,49 @@ TraceReader::parseContainer(const std::string &path)
     {
         ByteCursor c(data.data() + 4, 4);
         const uint32_t version = c.u32();
-        if (version != traceVersion) {
+        if (version < traceVersion1 || version > traceVersionMax) {
             throw TraceError(path + ": unsupported trace version " +
-                             std::to_string(version) + " (want " +
-                             std::to_string(traceVersion) + ")");
+                             std::to_string(version) + " (reader handles " +
+                             std::to_string(traceVersion1) + ".." +
+                             std::to_string(traceVersionMax) + ")");
         }
+        inf.version = version;
     }
+    const bool v2 = inf.version >= traceVersion2;
+
+    // Decode the codec envelope of one PROGZ/STPZ payload, verifying
+    // the inner plaintext digest and the file-wide plaintext budget.
+    uint64_t plain_total = 0;
+    auto decompress = [&](const char *payload, uint32_t len,
+                          int chunk_no) {
+        ByteCursor z(payload, len);
+        const uint8_t codec = z.u8();
+        const uint64_t plain_len = z.varint();
+        const uint64_t plain_fnv = z.u64();
+        if (plain_len > maxPlainTraceBytes ||
+            plain_total + plain_len > maxPlainTraceBytes) {
+            throw TraceError(path + ": chunk " +
+                             std::to_string(chunk_no) +
+                             " claims an implausible plaintext size");
+        }
+        plain_total += plain_len;
+        const size_t comp_len = z.remaining();
+        const char *comp = z.take(comp_len);
+        std::string plain;
+        try {
+            plain = codecDecompress(codec, comp, comp_len,
+                                    static_cast<size_t>(plain_len));
+        } catch (const TraceError &e) {
+            throw TraceError(path + ": chunk " +
+                             std::to_string(chunk_no) + ": " + e.what());
+        }
+        if (fnv1a(plain.data(), plain.size()) != plain_fnv) {
+            throw TraceError(path + ": chunk " +
+                             std::to_string(chunk_no) +
+                             " plaintext checksum mismatch");
+        }
+        return std::make_pair(std::move(plain), codec);
+    };
 
     size_t pos = 8;
     int chunk_no = 0;
@@ -320,10 +601,30 @@ TraceReader::parseContainer(const std::string &path)
         }
 
         const auto ctype = static_cast<ChunkType>(type);
+        // Program/step chunks come in a per-version flavor; the other
+        // flavor is a format violation, not a decodable alternative.
+        if ((ctype == ChunkType::PROG || ctype == ChunkType::STEPS) &&
+            v2) {
+            throw TraceError(path + ": uncompressed " +
+                             (ctype == ChunkType::PROG
+                                  ? std::string("PROG")
+                                  : std::string("STEPS")) +
+                             " chunk in a version-2 trace");
+        }
+        if ((ctype == ChunkType::PROGZ || ctype == ChunkType::STPZ) &&
+            !v2) {
+            throw TraceError(path + ": compressed " +
+                             (ctype == ChunkType::PROGZ
+                                  ? std::string("PROGZ")
+                                  : std::string("STPZ")) +
+                             " chunk in a version-1 trace");
+        }
         if (chunk_no == 0 && ctype != ChunkType::META)
             throw TraceError(path + ": first chunk is not META");
-        if (chunk_no == 1 && ctype != ChunkType::PROG)
+        if (chunk_no == 1 && ctype != ChunkType::PROG &&
+            ctype != ChunkType::PROGZ) {
             throw TraceError(path + ": second chunk is not PROG");
+        }
         switch (ctype) {
           case ChunkType::META:
             if (chunk_no != 0)
@@ -334,15 +635,49 @@ TraceReader::parseContainer(const std::string &path)
             if (chunk_no != 1)
                 throw TraceError(path + ": duplicate PROG chunk");
             decodeProgram(ByteCursor(payload, len));
+            inf.chunkStats.push_back({ctype, 0, len, len});
             break;
+          case ChunkType::PROGZ: {
+            if (chunk_no != 1)
+                throw TraceError(path + ": duplicate PROG chunk");
+            auto [plain, codec] = decompress(payload, len, chunk_no);
+            decodeProgramV2(ByteCursor(plain.data(), plain.size()));
+            inf.chunkStats.push_back({ctype, codec, len, plain.size()});
+            break;
+          }
           case ChunkType::STEPS:
             if (chunk_no < 2)
                 throw TraceError(path + ": STEPS before PROG");
-            chunks.push_back({pos + 9, len, records});
+            chunks.push_back({stepData.size(), len, records});
+            stepData.append(payload, len);
             stream_fnv = fnv1a(payload, len, stream_fnv);
             steps_sum += records;
             ++inf.stepChunks;
+            inf.chunkStats.push_back({ctype, 0, len, len});
             break;
+          case ChunkType::STPZ: {
+            if (chunk_no < 2)
+                throw TraceError(path + ": STEPS before PROG");
+            auto [plain, codec] = decompress(payload, len, chunk_no);
+            std::string interleaved;
+            try {
+                interleaved = stepInterleavedFromColumns(
+                    plain.data(), plain.size(), records);
+            } catch (const TraceError &e) {
+                throw TraceError(path + ": chunk " +
+                                 std::to_string(chunk_no) + ": " +
+                                 e.what());
+            }
+            chunks.push_back({stepData.size(), interleaved.size(),
+                              records});
+            stream_fnv = fnv1a(interleaved.data(), interleaved.size(),
+                               stream_fnv);
+            stepData += interleaved;
+            steps_sum += records;
+            ++inf.stepChunks;
+            inf.chunkStats.push_back({ctype, codec, len, plain.size()});
+            break;
+          }
           case ChunkType::END: {
             if (chunk_no < 2)
                 throw TraceError(path + ": END before PROG");
@@ -383,7 +718,8 @@ StepCursor::next(StepResult &out)
             return false;
         const TraceReader::StepChunk &c = chunks[chunkIdx];
         if (recordIdx == 0)
-            cur = ByteCursor(reader->data.data() + c.offset, c.length);
+            cur = ByteCursor(reader->stepData.data() + c.offset,
+                             c.length);
         if (recordIdx < c.records)
             break;
         if (!cur.atEnd())

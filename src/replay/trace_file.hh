@@ -14,14 +14,15 @@
  *             payload[payloadLen] u64(fnv1a of the preceding fields)
  *
  * Chunk sequence is fixed: one META (workload name, seed, scale,
- * capture cap, program name), one PROG (entry, code, sorted data
- * image), any number of STEPS (up to stepsPerChunk compact step
- * records each), one END (total steps, running digest of every STEPS
- * payload, clean-halt flag). The END chunk doubles as the completeness
- * marker: TraceWriter stages everything in a temp file and renames it
- * into place only after END is on disk, so an interrupted capture
- * leaves either no trace file at the final path or one that fails
- * verification — never a silently short replay.
+ * capture cap, program name), one PROG (v1: entry, code, sorted data
+ * image) or PROGZ (v2), any number of STEPS (v1, up to stepsPerChunk
+ * compact step records each) or STPZ (v2) chunks, one END (total
+ * steps, running digest of the step stream, clean-halt flag). The END
+ * chunk doubles as the completeness marker: TraceWriter stages
+ * everything in a temp file and renames it into place only after END
+ * is on disk, so an interrupted capture leaves either no trace file at
+ * the final path or one that fails verification — never a silently
+ * short replay.
  *
  * Step record := u8 flags, svarint(pc - prevPc),
  *                [svarint(nextPc - pc) unless sequential],
@@ -30,6 +31,36 @@
  *                 if isMem]
  * The static instruction is not stored; readers refetch it from the
  * embedded Program by pc.
+ *
+ * Version 2 compression (codec.hh holds the block codec itself):
+ * PROGZ and STPZ payloads are
+ *
+ *   zpayload := u8(codecId) varint(plainLen) u64(fnv1a of plaintext)
+ *               compressed[...]
+ *
+ * so the outer chunk digest still localizes file corruption to a
+ * chunk, and the inner plaintext digest catches a decode that
+ * "succeeds" with wrong bytes. The plaintexts are transforms chosen
+ * for the codec, not the raw v1 payloads:
+ *
+ *   PROGZ plain := varint(entry) varint(nCode)
+ *                  op[nCode] rd[nCode] rs1[nCode] rs2[nCode]
+ *                  varint(immLen) immSvarints
+ *                  varint(nData) varint(addrLen)
+ *                  addrDeltaVarints valueSvarints
+ *     — code fields split into per-field planes, and the sorted data
+ *     image dict-coded as address deltas plus a value stream (mostly
+ *     zero/repeating pages, which the codec's RLE path collapses).
+ *
+ *   STPZ plain  := varint(len) flagBytes   varint(len) pcDeltas
+ *                  varint(len) nextPcDeltas varint(len) destValues
+ *                  varint(len) memAddrDeltas varint(len) memValues
+ *     — the interleaved v1 records split into per-field streams
+ *     (column order is record order, filtered by each record's
+ *     flags). Readers transcode the columns back to the exact v1
+ *     interleaved bytes, so the END chunk's stream digest is defined
+ *     over the v1 encoding in both versions and a v1 -> v2
+ *     recompression preserves it bit for bit.
  */
 
 #ifndef TPROC_REPLAY_TRACE_FILE_HH
@@ -59,16 +90,27 @@ struct TraceMeta
     std::string programName;
 };
 
+/** Per-chunk compression accounting (PROG[Z] and STEPS/STPZ only). */
+struct ChunkStat
+{
+    ChunkType type = ChunkType::PROG;
+    uint8_t codec = 0;          //!< CodecId; 0 (raw) for v1 chunks
+    size_t storedBytes = 0;     //!< payload bytes on disk
+    size_t plainBytes = 0;      //!< decoded plaintext bytes
+};
+
 /** Everything known about a trace after parsing it. */
 struct TraceInfo
 {
     TraceMeta meta;
+    uint32_t version = 0;       //!< container version (1 or 2)
     uint64_t totalSteps = 0;
     bool cleanHalt = false;     //!< stream ends with the program's HALT
     size_t codeSize = 0;
     size_t dataInitSize = 0;
     size_t fileBytes = 0;
     size_t stepChunks = 0;
+    std::vector<ChunkStat> chunkStats;
 };
 
 /**
@@ -80,8 +122,12 @@ struct TraceInfo
 class TraceWriter
 {
   public:
+    /** compress selects the container version: true (the default)
+     *  writes version 2 with codec-compressed PROGZ/STPZ chunks,
+     *  false writes a version-1 file bit-identical to the pre-v2
+     *  writer's output. */
     TraceWriter(std::string path, const TraceMeta &meta,
-                const Program &prog);
+                const Program &prog, bool compress = true);
     ~TraceWriter();
 
     TraceWriter(const TraceWriter &) = delete;
@@ -99,11 +145,14 @@ class TraceWriter
   private:
     void writeChunk(ChunkType type, uint32_t records,
                     const std::string &payload);
+    void writeCompressedChunk(ChunkType type, uint32_t records,
+                              const std::string &plain);
     void flushSteps();
 
     std::string finalPath;
     std::string tmpPath;
     std::ofstream out;
+    bool compressed;
     std::string stepPayload;
     uint32_t stepRecords = 0;
     uint64_t totalSteps = 0;
@@ -147,16 +196,26 @@ class TraceReader
 
     struct StepChunk
     {
-        size_t offset;          //!< payload start within data
+        size_t offset;          //!< payload start within stepData
         size_t length;
         uint32_t records;
     };
 
     void parseContainer(const std::string &path);
     void decodeProgram(ByteCursor cur);
+    void decodeProgramV2(ByteCursor cur);
     void decodeMeta(ByteCursor cur);
 
-    std::string data;           //!< the whole file
+    /**
+     * Every step chunk's plaintext in v1 interleaved record form,
+     * concatenated in stream order. For a v1 file these are the
+     * payload bytes verbatim; for v2 each STPZ chunk is decompressed
+     * and column-transcoded exactly once, here, at parse time — so the
+     * TraceStore's process-wide reader cache makes replay-many pay
+     * decompression once per file. The raw file bytes are not
+     * retained.
+     */
+    std::string stepData;
     Program prog;
     TraceInfo inf;
     std::vector<StepChunk> chunks;

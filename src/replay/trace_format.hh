@@ -19,16 +19,26 @@ namespace tproc::replay
 /** First bytes of every trace file. */
 constexpr char traceMagic[4] = {'T', 'P', 'R', 'C'};
 
-/** Bump on any incompatible layout change; readers reject mismatches. */
-constexpr uint32_t traceVersion = 1;
+/**
+ * Container versions. Version 1 stores every payload raw; version 2
+ * replaces the PROG/STEPS chunks with compressed PROGZ/STPZ twins
+ * (see trace_file.hh for the layouts). Readers accept both; writers
+ * emit v2 by default and v1 when compression is off. Bump
+ * traceVersionMax on any further incompatible layout change.
+ */
+constexpr uint32_t traceVersion1 = 1;
+constexpr uint32_t traceVersion2 = 2;
+constexpr uint32_t traceVersionMax = traceVersion2;
 
-/** Chunk type tags (one META, one PROG, n STEPS, one END, in order). */
+/** Chunk type tags (one META, one PROG[Z], n STEPS/STPZ, one END). */
 enum class ChunkType : uint8_t
 {
     META = 1,       //!< workload identity: name, seed, scale, capture cap
-    PROG = 2,       //!< the full Program (code, data image, entry)
-    STEPS = 3,      //!< a run of encoded StepResults
-    END = 4         //!< totals + stream digest; marks a complete file
+    PROG = 2,       //!< the full Program (code, data image, entry); v1
+    STEPS = 3,      //!< a run of encoded StepResults; v1
+    END = 4,        //!< totals + stream digest; marks a complete file
+    PROGZ = 5,      //!< compressed, column-transformed Program; v2
+    STPZ = 6        //!< compressed, column-split StepResult run; v2
 };
 
 /** Step records per STEPS chunk (the checksum granularity). */

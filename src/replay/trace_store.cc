@@ -22,14 +22,21 @@ namespace
  * Process-wide cache of parsed traces keyed by path. Readers are
  * immutable, so concurrent sweep points share one parsed instance and
  * a 16-point sweep over 8 workloads parses 8 files, not 16. Bounded
- * FIFO so a long-lived process sweeping many workloads cannot hold
- * every trace in memory forever.
+ * (oldest-first) so a long-lived process sweeping many workloads
+ * cannot hold every trace in memory forever — but eviction never
+ * drops a reader some live replay still references (use_count > 1):
+ * under SweepEngine parallel replay, evicting a pinned trace would
+ * force every concurrent point on it to re-parse (and, for v2 traces,
+ * re-decompress) the same file, defeating the parse-once contract.
+ * When every entry is pinned the cache temporarily exceeds its bound
+ * rather than evict live work.
  */
-constexpr size_t cacheCapacity = 32;
+constexpr size_t defaultCacheCapacity = 32;
 
 struct ReaderCache
 {
     std::mutex mutex;
+    size_t capacity = defaultCacheCapacity;
     std::unordered_map<std::string, std::shared_ptr<const TraceReader>>
         byPath;
     std::deque<std::string> order;      //!< insertion order for eviction
@@ -37,14 +44,26 @@ struct ReaderCache
     void
     put(const std::string &path, std::shared_ptr<const TraceReader> r)
     {
-        if (byPath.count(path) == 0) {
+        if (byPath.count(path) == 0)
             order.push_back(path);
-            while (order.size() > cacheCapacity) {
-                byPath.erase(order.front());
-                order.pop_front();
-            }
-        }
         byPath[path] = std::move(r);
+        // Evict oldest-first, skipping pinned entries. use_count is
+        // stable here: every cache-held shared_ptr is only copied
+        // under this->mutex, so an unpinned entry cannot gain a
+        // reference while we hold the lock.
+        size_t scan = 0;
+        while (byPath.size() > capacity && scan < order.size()) {
+            const std::string victim = order[scan];
+            auto it = byPath.find(victim);
+            if (it != byPath.end() && it->second.use_count() > 1) {
+                ++scan;     // pinned by a live replay; try the next
+                continue;
+            }
+            if (it != byPath.end())
+                byPath.erase(it);
+            order.erase(order.begin() +
+                        static_cast<std::ptrdiff_t>(scan));
+        }
     }
 
     void
@@ -200,6 +219,22 @@ TraceStore::dropCache()
     cache.order.clear();
 }
 
+void
+TraceStore::setCacheCapacityForTest(size_t capacity)
+{
+    auto &cache = readerCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    cache.capacity = capacity ? capacity : defaultCacheCapacity;
+}
+
+bool
+TraceStore::isCachedForTest(const std::string &path)
+{
+    auto &cache = readerCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return cache.byPath.count(path) != 0;
+}
+
 TraceStore::EnsureResult
 TraceStore::ensure(const std::string &workload, uint64_t seed,
                    double scale, uint64_t max_insts)
@@ -233,7 +268,8 @@ TraceStore::ensure(const std::string &workload, uint64_t seed,
     }
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
-    captureWorkloadTrace(workload, seed, scale, max_insts, path);
+    captureWorkloadTrace(workload, seed, scale, max_insts, path,
+                         compressCaptures);
     r.captured = true;
     r.reader = openFor(path, workload, seed, scale, max_insts, &why);
     if (!r.reader) {

@@ -51,8 +51,23 @@ class TraceStore
     EnsureResult ensure(const std::string &workload, uint64_t seed,
                         double scale, uint64_t max_insts);
 
+    /** Whether ensure()'s captures write compressed (v2) traces; both
+     *  versions are always readable, this only affects new files. */
+    void setCompressCaptures(bool on) { compressCaptures = on; }
+
     /** Drop the process-wide parsed-trace cache (tests). */
     static void dropCache();
+
+    /**
+     * Override the parsed-trace cache bound (tests; 0 restores the
+     * default). The cache never evicts a reader some live replay still
+     * holds — eviction skips pinned entries even when that leaves the
+     * cache over capacity — so shrinking the bound is safe.
+     */
+    static void setCacheCapacityForTest(size_t capacity);
+
+    /** True when path currently sits in the parsed-trace cache. */
+    static bool isCachedForTest(const std::string &path);
 
     /**
      * True when path holds a verifiable trace matching the identity
@@ -66,6 +81,7 @@ class TraceStore
 
   private:
     std::string dir;
+    bool compressCaptures = true;
 };
 
 } // namespace tproc::replay

@@ -184,6 +184,53 @@ TEST(SweepJournal, MissingFileIsEmptyAndTruncatedTailIsDropped)
     EXPECT_EQ(records[0].point.index, results[0].point.index);
 }
 
+TEST(SweepJournal, WellFormedButInvalidRecordRefusesToLoad)
+{
+    // A line that parses as JSON but is not a sweep record (schema
+    // drift, hand edits) must throw — silently skipping it would
+    // quietly re-run its point — while a torn, unparseable tail stays
+    // a counted skip. The error must name the offending line.
+    auto grid = smallGrid();
+    auto results = runSerial(grid);
+
+    TempFile file("journal_badrecord");
+    {
+        harness::SweepJournal j(file.path());
+        j.append(results[0]);
+    }
+    {
+        std::ofstream out(file.path(), std::ios::app);
+        out << "{\"index\": 1, \"ok\": true}\n";
+    }
+    try {
+        harness::SweepJournal::load(file.path());
+        FAIL() << "load accepted a non-record JSON line";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("refusing"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // JsonParseError stays distinguishable from semantic errors: the
+    // narrow catch in load() keys off it.
+    EXPECT_THROW(parseJson("{\"torn"), JsonParseError);
+}
+
+TEST(SweepJournal, PlanResumeCarriesSkippedLineCount)
+{
+    auto grid = smallGrid();
+    auto plan = harness::planResume(grid, {}, 2, /*skippedLines=*/3);
+    EXPECT_EQ(plan.skippedLines, 3u);
+    EXPECT_EQ(plan.pending.size(), grid.size());
+
+    // Default: nothing skipped.
+    plan = harness::planResume(grid, {}, 2);
+    EXPECT_EQ(plan.skippedLines, 0u);
+}
+
 TEST(SweepJournal, PlanResumeSkipsRetriesAndBounds)
 {
     auto grid = smallGrid();

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "harness/golden.hh"
 #include "harness/sweep.hh"
 #include "replay/capture.hh"
+#include "replay/codec.hh"
 #include "replay/replay_source.hh"
 #include "replay/trace_store.hh"
 #include "workloads/workloads.hh"
@@ -102,6 +104,88 @@ tinyProgram()
 } // anonymous namespace
 
 // ---------------------------------------------------------------------
+// The block codec (compressed v2 chunks ride on it).
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::string
+codecRoundTrip(const std::string &plain)
+{
+    const replay::CodecResult r = replay::codecCompress(plain);
+    return replay::codecDecompress(static_cast<uint8_t>(r.codec),
+                                   r.bytes.data(), r.bytes.size(),
+                                   plain.size());
+}
+
+} // anonymous namespace
+
+TEST(TraceCodec, RoundTripsVariedInputs)
+{
+    // Empty, sub-minimum, runs (the RLE case), periodic patterns,
+    // text, and incompressible pseudo-random bytes (the RAW fallback).
+    std::vector<std::string> inputs = {
+        "", "a", "abc", std::string(100000, '\0'),
+        std::string(513, 'x'),
+    };
+    {
+        std::string periodic;
+        for (int i = 0; i < 5000; ++i)
+            periodic += "pattern-" + std::to_string(i % 7);
+        inputs.push_back(periodic);
+    }
+    {
+        std::string rnd;
+        uint64_t x = 0x9e3779b97f4a7c15ull;
+        for (int i = 0; i < 4096; ++i) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            rnd.push_back(static_cast<char>(x & 0xff));
+        }
+        inputs.push_back(rnd);
+    }
+    for (const auto &plain : inputs) {
+        EXPECT_EQ(codecRoundTrip(plain), plain)
+            << "input size " << plain.size();
+    }
+
+    // Highly repetitive data must actually shrink.
+    const std::string zeros(65536, '\0');
+    const replay::CodecResult z = replay::codecCompress(zeros);
+    EXPECT_EQ(z.codec, replay::CodecId::LZ);
+    EXPECT_LT(z.bytes.size(), zeros.size() / 100);
+}
+
+TEST(TraceCodec, DecompressRejectsMalformedStreams)
+{
+    using replay::TraceError;
+    // Unknown codec id.
+    EXPECT_THROW(replay::codecDecompress(99, "abcd", 4, 4), TraceError);
+    // RAW block whose length disagrees with the plaintext length.
+    EXPECT_THROW(replay::codecDecompress(0, "abcd", 4, 5), TraceError);
+
+    const std::string plain(1000, 'z');
+    const std::string comp = replay::lzCompress(plain);
+    ASSERT_LT(comp.size(), plain.size());
+    // Truncated token stream: output ends before plainLen is reached.
+    EXPECT_THROW(replay::lzDecompress(comp.data(), comp.size() - 1,
+                                      plain.size()),
+                 TraceError);
+    // Wrong plaintext length: the stream keeps going past it.
+    EXPECT_THROW(replay::lzDecompress(comp.data(), comp.size(),
+                                      plain.size() - 1),
+                 TraceError);
+    // A match distance pointing before the start of the output.
+    std::string bad;
+    replay::putVarint(bad, (uint64_t{0} << 1) | 1);     // match, len 4
+    replay::putVarint(bad, 7);                          // dist 7, empty out
+    EXPECT_THROW(replay::lzDecompress(bad.data(), bad.size(), 4),
+                 TraceError);
+}
+
+// ---------------------------------------------------------------------
 // Container round trip.
 // ---------------------------------------------------------------------
 
@@ -119,6 +203,7 @@ TEST(TraceRoundTrip, TinyProgramToHalt)
     EXPECT_EQ(cap.steps, 6u);
 
     replay::TraceReader reader(path);
+    EXPECT_EQ(reader.info().version, replay::traceVersion2);
     EXPECT_EQ(reader.meta().workload, "tiny");
     EXPECT_TRUE(reader.info().cleanHalt);
     EXPECT_EQ(reader.info().totalSteps, 6u);
@@ -170,6 +255,59 @@ TEST(TraceRoundTrip, WorkloadProgramAndStreamSurvive)
         ++n;
     }
     EXPECT_EQ(n, cap);
+}
+
+TEST(TraceRoundTrip, V1AndV2CarryIdenticalStreams)
+{
+    // The compressed (v2, default) and raw (v1) containers must hold
+    // the same program and the same step stream; v2 must be markedly
+    // smaller (the CI golden job gates the checked-in traces at 3x).
+    TempDir dir("replay_versions");
+    const std::string v1 = dir.file("v1.tpt");
+    const std::string v2 = dir.file("v2.tpt");
+    const Workload w = makeWorkload("compress", 1, 1.0);
+    replay::TraceMeta meta;
+    meta.workload = "compress";
+    meta.seed = 1;
+    meta.captureCap = 20000;
+    meta.programName = w.program.name;
+    replay::captureProgramTrace(w.program, meta, v1,
+                                /*compress=*/false);
+    replay::captureProgramTrace(w.program, meta, v2);
+
+    replay::TraceReader r1(v1);
+    replay::TraceReader r2(v2);
+    EXPECT_EQ(r1.info().version, replay::traceVersion1);
+    EXPECT_EQ(r2.info().version, replay::traceVersion2);
+    EXPECT_GE(r1.info().fileBytes, 3 * r2.info().fileBytes);
+
+    EXPECT_EQ(r1.program().code.size(), r2.program().code.size());
+    EXPECT_EQ(r1.program().dataInit, r2.program().dataInit);
+    EXPECT_EQ(r1.program().entry, r2.program().entry);
+
+    replay::StepCursor c1(r1), c2(r2);
+    StepResult s1, s2;
+    while (c1.next(s1)) {
+        ASSERT_TRUE(c2.next(s2));
+        ASSERT_EQ(s1, s2) << "step " << c1.stepsRead();
+    }
+    EXPECT_FALSE(c2.next(s2));
+    EXPECT_EQ(c1.stepsRead(), 20000u);
+
+    // Recompressing the v1 file (reader -> compressed writer, the
+    // `tproc-trace compress` path) reproduces the direct v2 capture
+    // byte for byte: the transforms are canonical and the stream
+    // digest is defined over the v1 record bytes in both versions.
+    const std::string re = dir.file("recompressed.tpt");
+    {
+        replay::TraceWriter writer(re, r1.meta(), r1.program());
+        replay::StepCursor cur(r1);
+        StepResult s;
+        while (cur.next(s))
+            writer.append(s);
+        writer.finalize();
+    }
+    EXPECT_EQ(readBytes(re), readBytes(v2));
 }
 
 TEST(TraceRoundTrip, CaptureCapSaturates)
@@ -281,7 +419,8 @@ namespace
 {
 
 std::string
-makeValidTrace(const TempDir &dir, const std::string &name)
+makeValidTrace(const TempDir &dir, const std::string &name,
+               bool compress = true)
 {
     const std::string path = dir.file(name);
     const Workload w = makeWorkload("compress", 1, 0.25);
@@ -291,49 +430,178 @@ makeValidTrace(const TempDir &dir, const std::string &name)
     meta.scale = 0.25;
     meta.captureCap = 2000;
     meta.programName = w.program.name;
-    replay::captureProgramTrace(w.program, meta, path);
+    replay::captureProgramTrace(w.program, meta, path, compress);
     return path;
 }
 
 } // anonymous namespace
 
+TEST(TraceCodec, ChunkStatsReportCompression)
+{
+    TempDir dir("replay_chunkstats");
+    const std::string path = makeValidTrace(dir, "stats.tpt");
+    replay::TraceReader reader(path);
+    const auto &stats = reader.info().chunkStats;
+    ASSERT_FALSE(stats.empty());
+    EXPECT_EQ(stats[0].type, replay::ChunkType::PROGZ);
+    size_t stored = 0, plain = 0;
+    for (const auto &c : stats) {
+        EXPECT_TRUE(c.type == replay::ChunkType::PROGZ ||
+                    c.type == replay::ChunkType::STPZ);
+        stored += c.storedBytes;
+        plain += c.plainBytes;
+    }
+    EXPECT_LT(stored, plain);   // the golden workloads all compress
+}
+
 TEST(ReplayNegative, TruncatedFileRejected)
 {
     TempDir dir("replay_trunc");
-    const std::string good = makeValidTrace(dir, "good.tpt");
-    const std::string bytes = readBytes(good);
-    ASSERT_GT(bytes.size(), 64u);
+    for (bool compress : {true, false}) {
+        const std::string good =
+            makeValidTrace(dir, compress ? "good2.tpt" : "good1.tpt",
+                           compress);
+        const std::string bytes = readBytes(good);
+        ASSERT_GT(bytes.size(), 64u);
 
-    for (size_t keep : {bytes.size() - 1, bytes.size() / 2, size_t{20},
-                        size_t{4}}) {
-        const std::string path = dir.file("trunc.tpt");
-        writeBytes(path, bytes.substr(0, keep));
-        EXPECT_THROW(replay::TraceReader reader(path),
-                     replay::TraceError)
-            << "kept " << keep << " bytes";
-        std::string why;
-        EXPECT_FALSE(replay::TraceStore::validFor(path, "compress", 1,
-                                                  0.25, 1000, &why));
-        EXPECT_FALSE(why.empty());
+        for (size_t keep : {bytes.size() - 1, bytes.size() / 2,
+                            size_t{20}, size_t{4}}) {
+            const std::string path = dir.file("trunc.tpt");
+            writeBytes(path, bytes.substr(0, keep));
+            EXPECT_THROW(replay::TraceReader reader(path),
+                         replay::TraceError)
+                << "kept " << keep << " bytes (compress=" << compress
+                << ")";
+            std::string why;
+            EXPECT_FALSE(replay::TraceStore::validFor(
+                path, "compress", 1, 0.25, 1000, &why));
+            EXPECT_FALSE(why.empty());
+        }
     }
 }
 
 TEST(ReplayNegative, CorruptedBytesRejected)
 {
     TempDir dir("replay_corrupt");
+    for (bool compress : {true, false}) {
+        const std::string good =
+            makeValidTrace(dir, compress ? "good2.tpt" : "good1.tpt",
+                           compress);
+        const std::string bytes = readBytes(good);
+
+        // Flip one byte in several places: magic, version, chunk
+        // interior (for v2, inside the compressed payloads).
+        for (size_t at : {size_t{0}, size_t{5}, bytes.size() / 3,
+                          2 * bytes.size() / 3, bytes.size() - 3}) {
+            std::string bad = bytes;
+            bad[at] = static_cast<char>(bad[at] ^ 0x40);
+            const std::string path = dir.file("bad.tpt");
+            writeBytes(path, bad);
+            EXPECT_THROW(replay::TraceReader reader(path),
+                         replay::TraceError)
+                << "flipped byte " << at << " (compress=" << compress
+                << ")";
+        }
+    }
+}
+
+namespace
+{
+
+/**
+ * Rewrite the first chunk of the given type with mutate(payload),
+ * recomputing the outer chunk digest — so the reader gets past the
+ * container checksum and the codec-envelope validation itself is what
+ * rejects the file.
+ */
+std::string
+rewriteChunk(const std::string &bytes, replay::ChunkType type,
+             const std::function<void(std::string &)> &mutate)
+{
+    size_t pos = 8;
+    while (pos + 9 + 8 <= bytes.size()) {
+        replay::ByteCursor hdr(bytes.data() + pos, 9);
+        const uint8_t t = hdr.u8();
+        const uint32_t len = hdr.u32();
+        const uint32_t records = hdr.u32();
+        if (static_cast<replay::ChunkType>(t) == type) {
+            std::string payload = bytes.substr(pos + 9, len);
+            mutate(payload);
+            std::string header;
+            header.push_back(static_cast<char>(t));
+            replay::putU32(header,
+                           static_cast<uint32_t>(payload.size()));
+            replay::putU32(header, records);
+            uint64_t digest =
+                replay::fnv1a(header.data(), header.size());
+            digest = replay::fnv1a(payload.data(), payload.size(),
+                                   digest);
+            std::string out = bytes.substr(0, pos) + header + payload;
+            replay::putU64(out, digest);
+            out += bytes.substr(pos + 9 + len + 8);
+            return out;
+        }
+        pos += 9 + static_cast<size_t>(len) + 8;
+    }
+    ADD_FAILURE() << "chunk type " << static_cast<int>(type)
+                  << " not found";
+    return bytes;
+}
+
+} // anonymous namespace
+
+TEST(ReplayNegative, CompressedChunkCorruptionsRejectedByName)
+{
+    TempDir dir("replay_zneg");
     const std::string good = makeValidTrace(dir, "good.tpt");
     const std::string bytes = readBytes(good);
 
-    // Flip one byte in several places: magic, version, chunk interior.
-    for (size_t at : {size_t{0}, size_t{5}, bytes.size() / 3,
-                      2 * bytes.size() / 3, bytes.size() - 3}) {
-        std::string bad = bytes;
-        bad[at] = static_cast<char>(bad[at] ^ 0x40);
+    auto expectNamedError = [&](const std::string &mutated,
+                                const std::string &needle,
+                                const std::string &label) {
         const std::string path = dir.file("bad.tpt");
-        writeBytes(path, bad);
-        EXPECT_THROW(replay::TraceReader reader(path),
-                     replay::TraceError)
-            << "flipped byte " << at;
+        writeBytes(path, mutated);
+        try {
+            replay::TraceReader reader(path);
+            ADD_FAILURE() << label << ": reader accepted the file";
+        } catch (const replay::TraceError &e) {
+            EXPECT_NE(std::string(e.what()).find(needle),
+                      std::string::npos)
+                << label << ": got '" << e.what() << "'";
+        }
+    };
+
+    for (replay::ChunkType type : {replay::ChunkType::STPZ,
+                                   replay::ChunkType::PROGZ}) {
+        const std::string label =
+            type == replay::ChunkType::STPZ ? "STPZ" : "PROGZ";
+        // Unknown codec id (first byte of the codec envelope).
+        expectNamedError(
+            rewriteChunk(bytes, type,
+                         [](std::string &p) {
+                             p[0] = static_cast<char>(99);
+                         }),
+            "unknown codec id", label + "/codec");
+        // Plaintext checksum mismatch: decode succeeds but the stored
+        // plaintext FNV (after codec byte + plainLen varint) is wrong.
+        expectNamedError(
+            rewriteChunk(bytes, type,
+                         [](std::string &p) {
+                             size_t i = 1;
+                             while (static_cast<uint8_t>(p[i]) & 0x80)
+                                 ++i;
+                             ++i;
+                             p[i] = static_cast<char>(p[i] ^ 0x40);
+                         }),
+            "plaintext checksum mismatch", label + "/fnv");
+        // Truncated compressed payload (outer digest recomputed, so
+        // only the codec's own bounds checking can catch it).
+        expectNamedError(
+            rewriteChunk(bytes, type,
+                         [](std::string &p) {
+                             p.resize(p.size() - 8);
+                         }),
+            "truncated", label + "/trunc");
     }
 }
 
@@ -440,6 +708,115 @@ TEST(TraceStoreTest, AbandonedWriterLeavesNothingBehind)
         ++entries;
     }
     EXPECT_EQ(entries, 0u);
+}
+
+TEST(TraceStoreTest, ExceptionBeforeFinalizeLeavesNothingBehind)
+{
+    // The destructor path under stack unwinding: an exception thrown
+    // anywhere between TraceWriter construction and finalize() (e.g.
+    // an emulator fault inside captureWorkloadTrace) must remove the
+    // .tmp.<pid>.<seq> staging file, in both container versions.
+    TempDir dir("writer_throw");
+    for (bool compress : {true, false}) {
+        const std::string path = dir.file("thrown.tpt");
+        const Program prog = tinyProgram();
+        bool caught = false;
+        try {
+            replay::TraceMeta meta;
+            meta.workload = "tiny";
+            replay::TraceWriter writer(path, meta, prog, compress);
+            Emulator emu(prog);
+            writer.append(emu.step());
+            writer.append(emu.step());
+            throw std::runtime_error("capture failed mid-stream");
+        } catch (const std::runtime_error &) {
+            caught = true;
+        }
+        EXPECT_TRUE(caught);
+        EXPECT_FALSE(fs::exists(path));
+        size_t entries = 0;
+        for (const auto &e : fs::directory_iterator(dir.path())) {
+            (void)e;
+            ++entries;
+        }
+        EXPECT_EQ(entries, 0u) << "compress=" << compress;
+    }
+}
+
+TEST(TraceStoreTest, CachePinsLiveReadersAcrossEviction)
+{
+    // The parsed-trace cache must never evict a reader a live replay
+    // still holds: under parallel replay that would force concurrent
+    // points onto re-parses (and re-decompression) of the same file.
+    TempDir dir("store_pin");
+    replay::TraceStore store(dir.path());
+    replay::TraceStore::dropCache();
+    replay::TraceStore::setCacheCapacityForTest(2);
+
+    auto held = store.ensure("li", 1, 0.1, 400);
+    const std::string held_path = store.tracePath("li", 1, 0.1, 400);
+
+    // Push more distinct traces than the bound through the cache while
+    // the first reader stays referenced (as a StepCursor-bearing
+    // ReplaySource would during a simulation).
+    for (uint64_t seed = 2; seed <= 5; ++seed)
+        store.ensure("li", seed, 0.1, 400);
+
+    // The pinned trace survived the insertion-order eviction...
+    EXPECT_TRUE(replay::TraceStore::isCachedForTest(held_path));
+    auto again = store.ensure("li", 1, 0.1, 400);
+    EXPECT_FALSE(again.captured);
+    EXPECT_EQ(again.reader.get(), held.reader.get());
+
+    // ...while unpinned older entries were evicted in its stead.
+    EXPECT_FALSE(replay::TraceStore::isCachedForTest(
+        store.tracePath("li", 2, 0.1, 400)));
+
+    replay::TraceStore::setCacheCapacityForTest(0);
+    replay::TraceStore::dropCache();
+}
+
+TEST(TraceStoreTest, EngineReplaysMoreTracesThanCacheBound)
+{
+    // Regression for the use-after-evict hazard: engine threads
+    // replaying more distinct traces than the cache bound must stay
+    // correct (each point's stats bit-identical to live emulation)
+    // while readers churn through the bounded cache.
+    TempDir dir("store_churn");
+    replay::TraceStore::dropCache();
+    replay::TraceStore::setCacheCapacityForTest(2);
+
+    std::vector<harness::SweepPoint> points;
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+        harness::SweepPoint p;
+        p.workload = "li";
+        p.model = "base";
+        p.seed = seed;
+        p.scale = 0.1;
+        p.maxInsts = 1500;
+        p.index = points.size();
+        points.push_back(p);
+    }
+
+    harness::SweepEngine::Options opts;
+    opts.threads = 3;
+    auto live = harness::SweepEngine(opts).run(points);
+
+    for (auto &p : points)
+        p.traceDir = dir.path();
+    auto replayed = harness::SweepEngine(opts).run(points);
+
+    ASSERT_EQ(live.size(), replayed.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+        ASSERT_TRUE(live[i].ok) << live[i].error;
+        ASSERT_TRUE(replayed[i].ok) << replayed[i].error;
+        EXPECT_EQ(harness::statsToDict(live[i].stats),
+                  harness::statsToDict(replayed[i].stats))
+            << "seed " << points[i].seed;
+    }
+
+    replay::TraceStore::setCacheCapacityForTest(0);
+    replay::TraceStore::dropCache();
 }
 
 TEST(TraceStoreTest, KilledCaptureLeavesNoTraceFile)

@@ -323,22 +323,31 @@ main(int argc, char **argv)
     std::vector<harness::SweepResult> reused;
     std::unique_ptr<harness::SweepJournal> journal;
     if (!resume_path.empty()) {
-        size_t skipped = 0;
-        auto records = harness::SweepJournal::load(resume_path, &skipped);
-        if (skipped) {
-            std::cerr << "tproc-sweep: dropped " << skipped
-                      << " unreadable journal line"
-                      << (skipped == 1 ? "" : "s")
-                      << " (interrupted write?)\n";
-        }
         harness::ResumePlan plan;
+        bool had_records = false;
         try {
-            plan = harness::planResume(points, records, retries + 1);
+            // load() throws on a journal whose lines parse but do not
+            // decode (schema drift, edits): that must refuse the
+            // resume, not silently re-run points. Torn tail lines are
+            // merely counted and surface as a warning via the plan.
+            size_t skipped = 0;
+            auto records =
+                harness::SweepJournal::load(resume_path, &skipped);
+            had_records = !records.empty();
+            plan = harness::planResume(points, records, retries + 1,
+                                       skipped);
         } catch (const std::exception &e) {
             std::cerr << "tproc-sweep: " << e.what() << '\n';
             return 126;
         }
-        if (!records.empty()) {
+        if (plan.skippedLines) {
+            std::cerr << "tproc-sweep: warning: dropped "
+                      << plan.skippedLines << " unreadable journal line"
+                      << (plan.skippedLines == 1 ? "" : "s")
+                      << " (interrupted write?); those points will "
+                         "re-run\n";
+        }
+        if (had_records) {
             std::cerr << "resume: reusing " << plan.completed
                       << " completed point"
                       << (plan.completed == 1 ? "" : "s") << ", retrying "
