@@ -38,8 +38,8 @@ struct PointSet
         p.workload = workload;
         p.config = cfg;
         p.useConfig = true;
-        p.seed = bench::benchSeed();
-        p.maxInsts = bench::benchInsts() / 2;
+        p.seed = bench::options().seed;
+        p.maxInsts = bench::options().insts / 2;
         p.labelOverride = workload + "/" + label;
         points.push_back(std::move(p));
         return points.size() - 1;
@@ -67,8 +67,9 @@ gain(const std::vector<harness::SweepResult> &results, const Cell &c)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseBenchArgs(argc, argv);
     bench::printHeaderNote(
         "ABLATIONS: CI gain (FG+MLB-RET vs base) sensitivity");
 

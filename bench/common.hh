@@ -6,6 +6,11 @@
  * ones; the workloads are synthetic SPEC95 analogs (see DESIGN.md), so
  * the *shape* — who wins, by roughly what factor, where crossovers fall —
  * is the claim, not the absolute values.
+ *
+ * All drivers share one BenchOptions instance parsed by parseBenchArgs:
+ * command-line flags are the primary interface; the historical
+ * TPROC_BENCH_* / TPROC_SWEEP_* environment variables remain as
+ * fallbacks for anything not given as a flag.
  */
 
 #ifndef TPROC_BENCH_COMMON_HH
@@ -13,9 +18,11 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,81 +34,221 @@
 namespace tproc::bench
 {
 
-/** Instructions simulated per benchmark per configuration. Override with
- *  TPROC_BENCH_INSTS for quicker or longer runs. */
-inline uint64_t
-benchInsts()
+/**
+ * Every knob the bench drivers understand, in one struct. Defaults are
+ * overridden first from the environment (fallback compatibility), then
+ * from command-line flags (the canonical interface; see
+ * parseBenchArgs).
+ */
+struct BenchOptions
 {
-    if (const char *e = std::getenv("TPROC_BENCH_INSTS"))
-        return std::strtoull(e, nullptr, 10);
-    return 400000;
+    /** Instructions simulated per benchmark per configuration
+     *  (--insts, TPROC_BENCH_INSTS). */
+    uint64_t insts = 400000;
+
+    /** Workload generation seed (--seed, TPROC_BENCH_SEED). */
+    uint64_t seed = 1;
+
+    /** Golden-model verification (--verify=0/1, TPROC_BENCH_VERIFY; on
+     *  by default: it is cheap and a silent wrong-path bug would
+     *  invalidate the numbers). */
+    bool verify = true;
+
+    /** Sweep-engine worker threads, 0 = hardware concurrency
+     *  (--threads, TPROC_BENCH_THREADS); 1 restores the old serial
+     *  behaviour bit for bit. */
+    unsigned threads = 0;
+
+    /** Intra-simulation PE-compute threads for the single-point pass
+     *  of bench_sweep_scaling (--pe-threads, TPROC_BENCH_PE_THREADS;
+     *  ProcessorConfig::peThreads). */
+    unsigned peThreads = 4;
+
+    /** Clean re-runs granted to a failed point before its failure
+     *  stands, microreboot-style (--retries, TPROC_SWEEP_RETRIES). */
+    unsigned retries = 0;
+
+    /** Batch tiling factor for bench_sweep_scaling (--repeat,
+     *  TPROC_BENCH_REPEAT): more points amortize thread startup when
+     *  the per-point runtime is small. */
+    unsigned repeat = 1;
+
+    /** Per-point sweep-results JSON artifact path (--json,
+     *  TPROC_SWEEP_JSON); empty = driver default or none. */
+    std::string json;
+
+    /** Defaults with the TPROC_* environment folded in. */
+    static BenchOptions
+    fromEnv()
+    {
+        BenchOptions o;
+        auto u64 = [](const char *name, uint64_t &into) {
+            if (const char *e = std::getenv(name))
+                into = std::strtoull(e, nullptr, 10);
+        };
+        auto u32 = [](const char *name, unsigned &into) {
+            if (const char *e = std::getenv(name))
+                into = static_cast<unsigned>(std::strtoul(e, nullptr, 10));
+        };
+        u64("TPROC_BENCH_INSTS", o.insts);
+        u64("TPROC_BENCH_SEED", o.seed);
+        if (const char *e = std::getenv("TPROC_BENCH_VERIFY"))
+            o.verify = std::atoi(e) != 0;
+        u32("TPROC_BENCH_THREADS", o.threads);
+        u32("TPROC_BENCH_PE_THREADS", o.peThreads);
+        u32("TPROC_SWEEP_RETRIES", o.retries);
+        u32("TPROC_BENCH_REPEAT", o.repeat);
+        if (const char *e = std::getenv("TPROC_SWEEP_JSON"))
+            o.json = e;
+        return o;
+    }
+};
+
+/** The driver-wide options instance parseBenchArgs fills. */
+inline BenchOptions &
+options()
+{
+    static BenchOptions opts = BenchOptions::fromEnv();
+    return opts;
 }
 
-inline uint64_t
-benchSeed()
-{
-    if (const char *e = std::getenv("TPROC_BENCH_SEED"))
-        return std::strtoull(e, nullptr, 10);
-    return 1;
-}
-
-/** Golden-model verification on/off (on by default: it is cheap and a
- *  silent wrong-path bug would invalidate the numbers). */
+/**
+ * Apply one "--key=value" flag to opts. @return true if the flag was
+ * recognized; sets *error (if non-null) on a recognized flag with a
+ * malformed value.
+ */
 inline bool
-benchVerify()
+applyBenchArg(BenchOptions &opts, const char *arg,
+              std::string *error = nullptr)
 {
-    if (const char *e = std::getenv("TPROC_BENCH_VERIFY"))
-        return std::atoi(e) != 0;
-    return true;
+    auto value = [&](const char *key) -> const char * {
+        size_t len = std::strlen(key);
+        if (std::strncmp(arg, key, len) == 0 && arg[len] == '=')
+            return arg + len + 1;
+        return nullptr;
+    };
+    auto parseUnsigned = [&](const char *v, auto &into) {
+        char *end = nullptr;
+        unsigned long long n = std::strtoull(v, &end, 10);
+        if (end == v || *end) {
+            if (error)
+                *error = std::string("malformed number in '") + arg + "'";
+            return true;    // recognized, but bad
+        }
+        into = static_cast<std::decay_t<decltype(into)>>(n);
+        return true;
+    };
+    if (const char *v = value("--insts"))
+        return parseUnsigned(v, opts.insts);
+    if (const char *v = value("--seed"))
+        return parseUnsigned(v, opts.seed);
+    if (const char *v = value("--threads"))
+        return parseUnsigned(v, opts.threads);
+    if (const char *v = value("--pe-threads"))
+        return parseUnsigned(v, opts.peThreads);
+    if (const char *v = value("--retries"))
+        return parseUnsigned(v, opts.retries);
+    if (const char *v = value("--repeat"))
+        return parseUnsigned(v, opts.repeat);
+    if (const char *v = value("--verify")) {
+        opts.verify = std::atoi(v) != 0;
+        return true;
+    }
+    if (std::strcmp(arg, "--no-verify") == 0) {
+        opts.verify = false;
+        return true;
+    }
+    if (const char *v = value("--json")) {
+        opts.json = v;
+        return true;
+    }
+    return false;
 }
 
-/** Worker threads for the sweep engine (0 = hardware concurrency).
- *  Override with TPROC_BENCH_THREADS; TPROC_BENCH_THREADS=1 restores the
- *  old serial behaviour bit for bit. */
-inline unsigned
-benchThreads()
+/**
+ * Parse flags into opts. @return std::nullopt on success, otherwise a
+ * message describing the first unrecognized flag or malformed value.
+ * The pure core of parseBenchArgs, separated so tests can drive it
+ * without process exits.
+ */
+inline std::optional<std::string>
+parseBenchArgsInto(BenchOptions &opts, int argc, char **argv,
+                   std::vector<std::string> *passthrough = nullptr)
 {
-    if (const char *e = std::getenv("TPROC_BENCH_THREADS"))
-        return static_cast<unsigned>(std::strtoul(e, nullptr, 10));
-    return 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string error;
+        if (applyBenchArg(opts, argv[i], &error)) {
+            if (!error.empty())
+                return error;
+            continue;
+        }
+        if (passthrough) {
+            passthrough->push_back(argv[i]);
+            continue;
+        }
+        return std::string("unknown argument '") + argv[i] + "'";
+    }
+    return std::nullopt;
 }
 
-/** Intra-simulation PE-compute threads for the single-point pass of
- *  bench_sweep_scaling (ProcessorConfig::peThreads). Override with
- *  TPROC_BENCH_PE_THREADS. */
-inline unsigned
-benchPeThreads()
+inline void
+printBenchUsage(const char *argv0, std::ostream &os)
 {
-    if (const char *e = std::getenv("TPROC_BENCH_PE_THREADS"))
-        return static_cast<unsigned>(std::strtoul(e, nullptr, 10));
-    return 4;
+    os << "usage: " << argv0 << " [flags]\n"
+       << "  --insts=N       instructions per benchmark per config ("
+       << BenchOptions().insts << ")\n"
+       << "  --seed=N        workload generation seed (1)\n"
+       << "  --verify=0|1    golden-model retirement verification (1)\n"
+       << "  --no-verify     shorthand for --verify=0\n"
+       << "  --threads=N     sweep worker threads, 0 = hw concurrency\n"
+       << "  --pe-threads=N  PE-compute threads, scaling passes (4)\n"
+       << "  --retries=N     clean re-runs for a failed point (0)\n"
+       << "  --repeat=N      batch tiling factor, scaling bench (1)\n"
+       << "  --json=FILE     write per-point sweep results JSON\n"
+       << "TPROC_BENCH_* / TPROC_SWEEP_* env vars remain as fallbacks\n"
+       << "for flags not given.\n";
 }
 
-/** Clean re-runs granted to a failed point before its failure stands
- *  (microreboot-style). Override with TPROC_SWEEP_RETRIES. */
-inline unsigned
-benchRetries()
+/**
+ * Parse command-line flags into options(). Prints usage and exits on
+ * --help or on an unrecognized/malformed argument. Drivers that must
+ * tolerate foreign flags (bench_micro_components forwards to
+ * google-benchmark) pass a non-null passthrough vector.
+ */
+inline void
+parseBenchArgs(int argc, char **argv,
+               std::vector<std::string> *passthrough = nullptr)
 {
-    if (const char *e = std::getenv("TPROC_SWEEP_RETRIES"))
-        return static_cast<unsigned>(std::strtoul(e, nullptr, 10));
-    return 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            printBenchUsage(argv[0], std::cout);
+            std::exit(0);
+        }
+    }
+    if (auto err = parseBenchArgsInto(options(), argc, argv,
+                                      passthrough)) {
+        std::cerr << argv[0] << ": " << *err << "\n\n";
+        printBenchUsage(argv[0], std::cerr);
+        std::exit(2);
+    }
 }
 
-/** A sweep engine configured from the TPROC_BENCH_* environment. */
+/** A sweep engine configured from the shared options. */
 inline harness::SweepEngine
 makeEngine()
 {
     harness::SweepEngine::Options opts;
-    opts.threads = benchThreads();
+    opts.threads = options().threads;
     opts.progress = true;
-    opts.retries = benchRetries();
+    opts.retries = options().retries;
     return harness::SweepEngine(opts);
 }
 
 /**
  * Run a batch of points through the engine; any failed point aborts the
  * driver (the tables need every cell), but only after the whole batch
- * has run and every failure has been listed. If TPROC_SWEEP_JSON names
+ * has run and every failure has been listed. If options().json names
  * a file, the full per-point results are written there for CI to
  * archive — including failed points, so the artifact survives for
  * debugging.
@@ -118,10 +265,11 @@ runSweep(std::vector<harness::SweepPoint> points)
     std::cerr << "  sweep: " << points.size() << " points across "
               << engine.effectiveThreads(points.size()) << " threads\n";
     auto results = engine.run(points);
-    if (const char *path = std::getenv("TPROC_SWEEP_JSON")) {
-        std::ofstream out(path);
+    if (!options().json.empty()) {
+        std::ofstream out(options().json);
         harness::writeResultsJson(out, results);
-        std::cerr << "  wrote sweep results to " << path << '\n';
+        std::cerr << "  wrote sweep results to " << options().json
+                  << '\n';
     }
     size_t failed = 0;
     for (const auto &r : results) {
@@ -142,13 +290,13 @@ runSweep(std::vector<harness::SweepPoint> points)
 }
 
 /** Run all workloads on a set of models; result[workload][model].
- *  Points fan out across benchThreads() workers. */
+ *  Points fan out across options().threads workers. */
 inline std::map<std::string, std::map<std::string, ProcessorStats>>
 runMatrix(const std::vector<std::string> &models)
 {
     auto points = harness::crossPoints(workloadNames(), models,
-                                       benchSeed(), benchInsts(),
-                                       benchVerify());
+                                       options().seed, options().insts,
+                                       options().verify);
     auto results = runSweep(points);
     std::map<std::string, std::map<std::string, ProcessorStats>> out;
     for (const auto &r : results)
@@ -161,8 +309,8 @@ printHeaderNote(const char *what)
 {
     std::cout << what << "\n"
               << "(synthetic SPEC95-analog workloads; "
-              << benchInsts() << " instructions per run, seed "
-              << benchSeed() << "; see DESIGN.md for the substitution "
+              << options().insts << " instructions per run, seed "
+              << options().seed << "; see DESIGN.md for the substitution "
               << "rationale)\n\n";
 }
 

@@ -22,8 +22,9 @@
 using namespace tproc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseBenchArgs(argc, argv);
     bench::printHeaderNote(
         "FIGURE 10: performance of control independence (% IPC over base)");
 

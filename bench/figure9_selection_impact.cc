@@ -13,8 +13,9 @@
 using namespace tproc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseBenchArgs(argc, argv);
     bench::printHeaderNote(
         "FIGURE 9: performance impact of trace selection (% IPC vs base)");
 

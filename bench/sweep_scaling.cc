@@ -63,20 +63,19 @@ sameStats(const std::vector<harness::SweepResult> &a,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseBenchArgs(argc, argv);
     bench::printHeaderNote("SWEEP SCALING: serial vs parallel vs replay");
 
     auto points = harness::crossPoints(
-        workloadNames(), {"base", "FG+MLB-RET"}, bench::benchSeed(),
-        bench::benchInsts(), bench::benchVerify());
+        workloadNames(), {"base", "FG+MLB-RET"}, bench::options().seed,
+        bench::options().insts, bench::options().verify);
 
-    // TPROC_BENCH_REPEAT tiles the batch: more points amortize thread
-    // startup and scheduler noise when the per-point runtime is small
-    // (CI keeps TPROC_BENCH_INSTS low to stay quick).
-    unsigned repeat = 1;
-    if (const char *e = std::getenv("TPROC_BENCH_REPEAT"))
-        repeat = static_cast<unsigned>(std::strtoul(e, nullptr, 10));
+    // --repeat tiles the batch: more points amortize thread startup
+    // and scheduler noise when the per-point runtime is small (CI
+    // keeps --insts low to stay quick).
+    const unsigned repeat = bench::options().repeat;
     const size_t base_count = points.size();
     for (unsigned r = 1; r < repeat; ++r)
         for (size_t i = 0; i < base_count; ++i)
@@ -91,7 +90,7 @@ main()
     harness::SweepEngine serial(serial_opts);
 
     harness::SweepEngine::Options par_opts;
-    par_opts.threads = bench::benchThreads();
+    par_opts.threads = bench::options().threads;
     harness::SweepEngine parallel(par_opts);
     const unsigned nthreads = parallel.effectiveThreads(points.size());
 
@@ -140,7 +139,7 @@ main()
         }
     }
     harness::SweepPoint pe_point = replay_points[slowest];
-    const unsigned pe_threads = bench::benchPeThreads();
+    const unsigned pe_threads = bench::options().peThreads;
     constexpr int pe_reps = 3;
 
     std::cerr << "  PE-parallel pass (" << pe_point.label() << ", "
@@ -296,13 +295,18 @@ main()
                   << pe_par_res.error << "\n";
     }
 
-    const char *path = std::getenv("TPROC_SWEEP_JSON");
-    if (!path)
-        path = "sweep_scaling.json";
+    // A diverged or failed run must still leave a complete, parseable
+    // artifact behind — CI reads the gate fields from the JSON, so a
+    // torn or half-populated file would turn a red result into an
+    // unreportable one. The explicit "diverged" field spares consumers
+    // from reconstructing the verdict out of the three identity bits.
+    const bool diverged = !identical || !replay_identical || !pe_identical;
+    std::string path = bench::options().json.empty()
+        ? "sweep_scaling.json" : bench::options().json;
     std::ofstream out(path);
     out << "{\n"
         << "  \"points\": " << points.size() << ",\n"
-        << "  \"insts_per_point\": " << bench::benchInsts() << ",\n"
+        << "  \"insts_per_point\": " << bench::options().insts << ",\n"
         << "  \"total_retired_insts\": " << total_insts << ",\n"
         << "  \"serial_seconds\": " << jsonNumber(serial_s) << ",\n"
         << "  \"parallel_seconds\": " << jsonNumber(par_s) << ",\n"
@@ -330,14 +334,16 @@ main()
         << ",\n"
         << "  \"pe_parallel_identical\": "
         << (pe_identical ? "true" : "false") << ",\n"
+        << "  \"diverged\": " << (diverged ? "true" : "false") << ",\n"
         << "  \"failed_points\": " << failed << ",\n"
         << "  \"results\": ";
     harness::writeResultsJson(out, par_results);
     out << "}\n";
+    out.close();
     std::cerr << "  wrote " << path << '\n';
 
     // Divergence or failures make the artifact (and exit status) red.
-    if (!identical || !replay_identical || !pe_identical)
+    if (diverged)
         return 2;
     return failed ? 1 : 0;
 }

@@ -13,8 +13,9 @@
 using namespace tproc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseBenchArgs(argc, argv);
     ProcessorConfig cfg = ProcessorConfig::forModel("base");
     TextTable t;
     t.header({"parameter", "value"});

@@ -15,14 +15,15 @@
 using namespace tproc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseBenchArgs(argc, argv);
     bench::printHeaderNote("TABLE 2: benchmarks (synthetic analogs)");
 
     TextTable t;
     t.header({"benchmark", "static insts", "dynamic insts",
               "profile (Table 5 character targeted)"});
-    for (const auto &w : makeAllWorkloads(bench::benchSeed())) {
+    for (const auto &w : makeAllWorkloads(bench::options().seed)) {
         Emulator emu(w.program);
         uint64_t n = emu.run(w.maxInsts);
         t.row({w.name, std::to_string(w.program.size()),

@@ -19,8 +19,9 @@
 using namespace tproc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseBenchArgs(argc, argv);
     bench::printHeaderNote("TABLE 3: IPC without control independence");
 
     const std::vector<std::string> models = {

@@ -13,8 +13,9 @@
 using namespace tproc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseBenchArgs(argc, argv);
     bench::printHeaderNote(
         "TABLE 4: impact of trace selection on trace length, trace "
         "mispredictions,\nand trace cache misses");

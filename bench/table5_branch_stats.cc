@@ -15,16 +15,17 @@
 using namespace tproc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseBenchArgs(argc, argv);
     bench::printHeaderNote("TABLE 5: conditional branch statistics");
 
     TextTable t;
     t.header({"", "frac.br", "frac.misp", "misp.rate", "dyn.reg",
               "stat.reg", "#cond.br", "ovrl.rate", "misp/1k"});
 
-    for (const auto &w : makeAllWorkloads(bench::benchSeed())) {
-        BranchStudy s = studyBranches(w.program, bench::benchInsts());
+    for (const auto &w : makeAllWorkloads(bench::options().seed)) {
+        BranchStudy s = studyBranches(w.program, bench::options().insts);
         double ce = static_cast<double>(s.condExecs());
         double cm = static_cast<double>(s.condMisps());
         auto frac = [&](uint64_t n, double d) {

@@ -14,20 +14,22 @@ namespace tproc
 void
 StatGroup::add(const std::string &stat_name, const uint64_t *counter)
 {
-    entries.push_back({stat_name, counter, nullptr});
+    entries.push_back({stat_name, name + '.' + stat_name, counter,
+                       nullptr});
 }
 
 void
 StatGroup::add(const std::string &stat_name, const double *counter)
 {
-    entries.push_back({stat_name, nullptr, counter});
+    entries.push_back({stat_name, name + '.' + stat_name, nullptr,
+                       counter});
 }
 
 void
 StatGroup::dump(std::ostream &os) const
 {
     for (const auto &e : entries) {
-        os << name << '.' << e.name << ' ';
+        os << e.fullName << ' ';
         if (e.u64)
             os << *e.u64;
         else
@@ -39,10 +41,24 @@ StatGroup::dump(std::ostream &os) const
 void
 StatGroup::snapshot(StatDict &into) const
 {
+    // fullName is composed once at add() time, so repeated snapshots
+    // do not re-concatenate (and re-allocate) the qualified names.
     for (const auto &e : entries) {
         double v = e.u64 ? static_cast<double>(*e.u64) : *e.f64;
-        into.set(name + '.' + e.name, v);
+        into.set(e.fullName, v);
     }
+}
+
+StatDict::Counter
+StatDict::counter(std::string_view name)
+{
+    std::string key(name);
+    auto it = index.find(key);
+    if (it != index.end())
+        return Counter(this, it->second);
+    index.emplace(std::move(key), order.size());
+    order.push_back({std::string(name), 0.0});
+    return Counter(this, order.size() - 1);
 }
 
 void
@@ -85,6 +101,26 @@ StatDict::has(const std::string &name) const
 void
 StatDict::merge(const StatDict &other)
 {
+    // Fast path: dicts produced by the same schema (every sweep-result
+    // merge, every golden accumulation) carry identical keys in
+    // identical order, so the sums need no hashing at all — one name
+    // comparison and an indexed add per entry. Fall back to keyed
+    // insertion from the first position that disagrees.
+    size_t i = 0;
+    if (order.size() == other.order.size()) {
+        for (; i < order.size(); ++i) {
+            if (order[i].name != other.order[i].name)
+                break;
+            order[i].value += other.order[i].value;
+        }
+        if (i == order.size())
+            return;
+        // Undo the positional sums applied before the mismatch and
+        // redo the whole merge keyed (correctness over speed on the
+        // mixed-schema path).
+        for (size_t j = 0; j < i; ++j)
+            order[j].value -= other.order[j].value;
+    }
     for (const auto &s : other.order)
         inc(s.name, s.value);
 }
@@ -545,6 +581,55 @@ statDictFromJson(const JsonValue &v)
     for (const auto &kv : v.asObject())
         d.set(kv.first, kv.second.asNumber());
     return d;
+}
+
+void
+writeJson(std::ostream &os, const JsonValue &v, int indent)
+{
+    const std::string pad(indent, ' ');
+    switch (v.kind()) {
+      case JsonValue::Kind::Null:
+        os << "null";
+        break;
+      case JsonValue::Kind::Bool:
+        os << (v.asBool() ? "true" : "false");
+        break;
+      case JsonValue::Kind::Number:
+        os << jsonNumber(v.asNumber());
+        break;
+      case JsonValue::Kind::String:
+        os << '"' << jsonEscape(v.asString()) << '"';
+        break;
+      case JsonValue::Kind::Array: {
+        const auto &arr = v.asArray();
+        if (arr.empty()) {
+            os << "[]";
+            break;
+        }
+        os << "[";
+        for (size_t i = 0; i < arr.size(); ++i) {
+            os << (i ? "," : "") << '\n' << pad << "  ";
+            writeJson(os, arr[i], indent + 2);
+        }
+        os << '\n' << pad << "]";
+        break;
+      }
+      case JsonValue::Kind::Object: {
+        const auto &obj = v.asObject();
+        if (obj.empty()) {
+            os << "{}";
+            break;
+        }
+        os << "{";
+        for (size_t i = 0; i < obj.size(); ++i) {
+            os << (i ? "," : "") << '\n' << pad << "  \""
+               << jsonEscape(obj[i].first) << "\": ";
+            writeJson(os, obj[i].second, indent + 2);
+        }
+        os << '\n' << pad << "}";
+        break;
+      }
+    }
 }
 
 void

@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -36,6 +37,56 @@ struct Stat
 class StatDict
 {
   public:
+    /**
+     * A typed handle to one counter, resolved once and bumped many
+     * times without re-hashing the name. Handles are stable across
+     * further insertions (they hold an index, not a pointer), but are
+     * invalidated if the owning dict is destroyed or moved — resolve
+     * them once at construction of the component that bumps them.
+     */
+    class Counter
+    {
+      public:
+        Counter() = default;
+
+        double
+        operator+=(double delta)
+        {
+            return d->order[idx].value += delta;
+        }
+
+        Counter &
+        operator++()
+        {
+            d->order[idx].value += 1.0;
+            return *this;
+        }
+
+        double
+        operator=(double value)
+        {
+            return d->order[idx].value = value;
+        }
+
+        double value() const { return d->order[idx].value; }
+        const std::string &name() const { return d->order[idx].name; }
+        bool valid() const { return d != nullptr; }
+
+      private:
+        friend class StatDict;
+        Counter(StatDict *d_, size_t idx_) : d(d_), idx(idx_) {}
+
+        StatDict *d = nullptr;
+        size_t idx = 0;
+    };
+
+    /**
+     * Resolve (creating at zero if absent) a counter handle. The name
+     * is hashed exactly once here; all subsequent bumps through the
+     * handle are a single indexed add.
+     */
+    Counter counter(std::string_view name);
+
     /** Set (or overwrite) a value. */
     void set(const std::string &name, double value);
 
@@ -158,6 +209,15 @@ bool tryParseJson(const std::string &text, JsonValue &out,
 StatDict statDictFromJson(const JsonValue &v);
 
 /**
+ * Serialize a JsonValue as pretty-printed JSON: 2-space indentation,
+ * object keys in insertion order, numbers via jsonNumber. parseJson of
+ * the output reproduces the value exactly, so write/parse/write is
+ * bit-stable — the property the BENCH_<n>.json trajectory check relies
+ * on. @param indent base indentation of the value itself.
+ */
+void writeJson(std::ostream &os, const JsonValue &v, int indent = 0);
+
+/**
  * A group of related statistics with pretty-printing. Components embed a
  * StatGroup and register references to their counters for reporting.
  */
@@ -182,6 +242,7 @@ class StatGroup
     struct Entry
     {
         std::string name;
+        std::string fullName;   //!< "group.stat", composed once at add()
         const uint64_t *u64 = nullptr;
         const double *f64 = nullptr;
     };

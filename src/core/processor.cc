@@ -47,6 +47,11 @@ Processor::Processor(const Program &prog_, const ProcessorConfig &cfg_,
         golden = golden_source ? std::move(golden_source)
                                : std::make_unique<Emulator>(prog);
     }
+    pePool.resize(cfg.numPEs);
+    peUid.assign(cfg.numPEs, invalidTraceUid);
+    busPerPe.assign(cfg.numPEs, 0);
+    window.reserve(cfg.numPEs);
+    windowPe.reserve(cfg.numPEs);
     for (int i = cfg.numPEs - 1; i >= 0; --i)
         freePes.push_back(i);
     if (cfg.peThreads > 0)
@@ -63,25 +68,29 @@ Processor::~Processor() = default;
 InFlightTrace *
 Processor::find(TraceUid uid)
 {
-    auto it = traces.find(uid);
-    return it == traces.end() ? nullptr : it->second.get();
+    if (uid == invalidTraceUid)
+        return nullptr;
+    const size_t n = peUid.size();
+    for (size_t pe = 0; pe < n; ++pe) {
+        if (peUid[pe] == uid)
+            return &pePool[pe];
+    }
+    return nullptr;
 }
 
 const InFlightTrace *
 Processor::find(TraceUid uid) const
 {
-    auto it = traces.find(uid);
-    return it == traces.end() ? nullptr : it->second.get();
+    return const_cast<Processor *>(this)->find(uid);
 }
 
 int
 Processor::windowIndex(TraceUid uid) const
 {
-    for (size_t i = 0; i < window.size(); ++i) {
-        if (window[i] == uid)
-            return static_cast<int>(i);
-    }
-    return -1;
+    // logicalPos is refreshed after every window mutation, so the
+    // resident trace already knows its position — no window scan.
+    const InFlightTrace *t = find(uid);
+    return t ? static_cast<int>(t->logicalPos) : -1;
 }
 
 int64_t
@@ -95,7 +104,7 @@ void
 Processor::refreshLogicalPositions()
 {
     for (size_t i = 0; i < window.size(); ++i)
-        find(window[i])->logicalPos = static_cast<int64_t>(i);
+        pePool[windowPe[i]].logicalPos = static_cast<int64_t>(i);
 }
 
 // ---------------------------------------------------------------------
@@ -207,6 +216,8 @@ Processor::issueSlot(InFlightTrace &t, int slot)
 {
     DynSlot &d = t.slots[slot];
     d.issued = true;
+    --t.slotsNotIssued;
+    ++t.slotsIssuedNotDone;
     ++d.issueCount;
     d.srcVal1 = readsRs1(d.inst) ? operandValue(t, d.dep1, d.src1) : 0;
     d.srcVal2 = readsRs2(d.inst) ? operandValue(t, d.dep2, d.src2) : 0;
@@ -260,6 +271,11 @@ Processor::runOnPool(size_t n, const std::function<void(size_t)> &fn)
 void
 Processor::issueTrace(InFlightTrace &t)
 {
+    // Readiness precheck: a trace with no un-issued slot cannot issue
+    // anything — skip the slot walk entirely (most of the window is in
+    // this state most cycles).
+    if (t.slotsNotIssued == 0)
+        return;
     int issued_this_cycle = 0;
     for (size_t i = 0;
          i < t.slots.size() && issued_this_cycle < cfg.issuePerPe; ++i) {
@@ -280,7 +296,7 @@ Processor::phaseIssue()
     // frozen register file (nothing writes prf during issue), so there
     // is no commit half and no cross-PE ordering to preserve.
     forEachWindowEntry(window.size(),
-                       [this](size_t i) { issueTrace(*find(window[i])); });
+                       [this](size_t i) { issueTrace(entryAt(i)); });
 }
 
 void
@@ -292,7 +308,11 @@ Processor::scanCompletions(size_t wpos)
     CompletionScan &out = scanScratch[wpos];
     out.uid = window[wpos];
     out.slots.clear();
-    const InFlightTrace &t = *find(out.uid);
+    const InFlightTrace &t = entryAt(wpos);
+    // Readiness precheck: no issued-but-incomplete slot means nothing
+    // can possibly complete — skip the slot walk.
+    if (t.slotsIssuedNotDone == 0)
+        return;
     for (size_t i = 0; i < t.slots.size(); ++i) {
         const DynSlot &d = t.slots[i];
         // waitingBus gates memory ops between address generation and
@@ -351,6 +371,7 @@ Processor::completeSlot(InFlightTrace &t, int slot)
     }
 
     d.completed = true;
+    --t.slotsIssuedNotDone;
     d.readyAt = curCycle;
 
     // Value-change filter: a recompletion that reproduces the previous
@@ -397,7 +418,7 @@ Processor::completeSlot(InFlightTrace &t, int slot)
         }
         int idx = windowIndex(t.uid);
         if (idx >= 0 && idx + 1 < static_cast<int>(window.size())) {
-            const InFlightTrace &succ = *find(window[idx + 1]);
+            const InFlightTrace &succ = entryAt(idx + 1);
             if (succ.trace->id.startPc != d.brTarget)
                 events.push_back({t.uid, slot, true});
         }
@@ -416,6 +437,11 @@ Processor::reissueSlot(InFlightTrace &t, int slot, Cycle earliest)
         arb.loadRemove(t.uid, slot);
     if (d.isStore() && d.performed)
         arb.storeUndo(t.uid, slot);
+    // Back to the not-issued pool (completed implies issued, so the
+    // issued-not-done counter only drops for still-pending slots).
+    if (!d.completed)
+        --t.slotsIssuedNotDone;
+    ++t.slotsNotIssued;
     d.resetDynamic();
     d.earliestIssue = std::max(d.earliestIssue, earliest);
     ++stats.reissuedSlots;
@@ -435,8 +461,8 @@ Processor::reissueSlot(InFlightTrace &t, int slot, Cycle earliest)
 void
 Processor::reissueConsumersOf(PhysReg reg)
 {
-    for (TraceUid uid : window) {
-        InFlightTrace &t = *find(uid);
+    for (size_t w = 0; w < window.size(); ++w) {
+        InFlightTrace &t = entryAt(w);
         for (size_t i = 0; i < t.slots.size(); ++i) {
             DynSlot &d = t.slots[i];
             bool consumes = (d.dep1 < 0 && readsRs1(d.inst) &&
@@ -459,8 +485,8 @@ void
 Processor::phaseCacheBuses()
 {
     int total = 0;
-    std::vector<int> per_pe(cfg.numPEs, 0);
-    std::deque<CacheRequest> kept;
+    std::fill(busPerPe.begin(), busPerPe.end(), 0);
+    cacheKept.clear();
 
     while (!cacheQueue.empty() && total < cfg.cacheBuses) {
         CacheRequest req = cacheQueue.front();
@@ -474,11 +500,11 @@ Processor::phaseCacheBuses()
         if (!d.waitingBus || !d.issued || d.completed)
             continue;   // stale request (slot was reissued/repaired)
 
-        if (per_pe[t->peId] >= cfg.maxCacheBusesPerPe) {
-            kept.push_back(req);
+        if (busPerPe[t->peId] >= cfg.maxCacheBusesPerPe) {
+            cacheKept.push_back(req);
             continue;
         }
-        ++per_pe[t->peId];
+        ++busPerPe[t->peId];
         ++total;
         d.waitingBus = false;
 
@@ -499,7 +525,7 @@ Processor::phaseCacheBuses()
     }
 
     // Unprocessed / deferred requests retry next cycle, in order.
-    for (auto it = kept.rbegin(); it != kept.rend(); ++it)
+    for (auto it = cacheKept.rbegin(); it != cacheKept.rend(); ++it)
         cacheQueue.push_front(*it);
 }
 
@@ -507,8 +533,8 @@ void
 Processor::phaseResultBuses()
 {
     int total = 0;
-    std::vector<int> per_pe(cfg.numPEs, 0);
-    std::deque<BusRequest> kept;
+    std::fill(busPerPe.begin(), busPerPe.end(), 0);
+    busKept.clear();
 
     while (!busQueue.empty() && total < cfg.globalBuses) {
         BusRequest req = busQueue.front();
@@ -524,11 +550,11 @@ Processor::phaseResultBuses()
         if (!d.completed || d.dest != req.dest || d.value != req.value)
             continue;
 
-        if (per_pe[t->peId] >= cfg.maxBusesPerPe) {
-            kept.push_back(req);
+        if (busPerPe[t->peId] >= cfg.maxBusesPerPe) {
+            busKept.push_back(req);
             continue;
         }
-        ++per_pe[t->peId];
+        ++busPerPe[t->peId];
         ++total;
 
         bool rebroadcast = prf.hasValue(req.dest);
@@ -540,7 +566,7 @@ Processor::phaseResultBuses()
             reissueConsumersOf(req.dest);
     }
 
-    for (auto it = kept.rbegin(); it != kept.rend(); ++it)
+    for (auto it = busKept.rbegin(); it != busKept.rend(); ++it)
         busQueue.push_front(*it);
 }
 
@@ -599,7 +625,7 @@ Processor::phaseEvents()
         if (ev.indirect) {
             valid = isIndirect(d.inst.op) && d.completed && idx >= 0 &&
                 idx + 1 < static_cast<int>(window.size()) &&
-                find(window[idx + 1])->trace->id.startPc != d.brTarget;
+                entryAt(idx + 1).trace->id.startPc != d.brTarget;
         } else {
             valid = d.isCondBr && d.completed &&
                 d.resolvedTaken != d.predTaken;
@@ -649,9 +675,9 @@ Processor::historyUpTo(int idx) const
     if (window.empty())
         return PathHistory();
     // idx == -1 legitimately yields "history before the oldest trace".
-    PathHistory h = find(window[0])->histBefore;
+    PathHistory h = entryAt(0).histBefore;
     for (int i = 0; i <= idx; ++i)
-        h.push(find(window[i])->trace->id);
+        h.push(entryAt(i).trace->id);
     return h;
 }
 
@@ -696,7 +722,7 @@ Processor::redispatchFrom(int start_idx, Cycle first_cycle)
     Cycle cyc = first_cycle;
     for (size_t i = static_cast<size_t>(start_idx); i < window.size();
          ++i) {
-        InFlightTrace &t = *find(window[i]);
+        InFlightTrace &t = entryAt(i);
         t.histBefore = historyUpTo(static_cast<int>(i) - 1);
         auto changed = redispatchInFlightTrace(t, map);
         for (int s : changed) {
@@ -724,7 +750,7 @@ Processor::findCgciTarget(int t_idx, const DynSlot &branch)
         isBackwardBranch(branch.inst, branch.pc)) {
         Addr fallthrough = branch.pc + 1;
         for (int i = t_idx + 1; i < n; ++i) {
-            if (find(window[i])->trace->id.startPc == fallthrough)
+            if (entryAt(i).trace->id.startPc == fallthrough)
                 return i;
         }
         // Fall through to RET below.
@@ -735,7 +761,7 @@ Processor::findCgciTarget(int t_idx, const DynSlot &branch)
     // qualifies if the repaired trace still ends in the same return,
     // which the caller checks (we use the pre-repair window here).
     for (int i = t_idx; i < n; ++i) {
-        if (find(window[i])->trace->endsInReturn() &&
+        if (entryAt(i).trace->endsInReturn() &&
             i + 1 < n) {
             return i + 1;
         }
@@ -816,7 +842,7 @@ Processor::recoverCond(InFlightTrace &t, int slot)
         // 3b. Coarse-grain recovery: squash the (assumed) incorrect
         // control dependent traces and insert the correct ones.
         ++stats.recoveriesCgci;
-        InFlightTrace *ci = find(window[ci_idx]);
+        InFlightTrace *ci = &entryAt(ci_idx);
         stats.tracesPreserved += window.size() - ci_idx;
         // Squash strictly between the mispredicted trace and the CI one.
         for (int i = ci_idx - 1; i > t_idx; --i)
@@ -869,10 +895,14 @@ Processor::squashTrace(TraceUid uid)
     stats.squashedInsts += t->slots.size();
     ++stats.squashedTraces;
 
-    freePes.push_back(t->peId);
-    int idx = windowIndex(uid);
+    int pe = t->peId;
+    int idx = static_cast<int>(t->logicalPos);
+    freePes.push_back(pe);
+    peUid[pe] = invalidTraceUid;
+    t->trace.reset();
+    t->uid = invalidTraceUid;
     window.erase(window.begin() + idx);
-    traces.erase(uid);
+    windowPe.erase(windowPe.begin() + idx);
     refreshLogicalPositions();
 
     if (insertMode.active && insertMode.targetUid == uid)
@@ -945,7 +975,7 @@ Processor::phaseDispatch()
             insertMode.active = false;
             int ci_idx = windowIndex(ci->uid);
             redispatchFrom(ci_idx, curCycle + 1);
-            InFlightTrace &tail = *find(window.back());
+            InFlightTrace &tail = entryAt(window.size() - 1);
             redirectAfterTrace(tail, curCycle + 1);
             releaseDeferredFrees();
             return;
@@ -981,11 +1011,10 @@ Processor::phaseDispatch()
                 frontend.redirect(historyUpTo(-1), dispatchExpectedPc,
                                   invalidAddr, curCycle + 1);
             } else {
-                redirectAfterTrace(*find(window[ci_idx - 1]),
-                                   curCycle + 1);
+                redirectAfterTrace(entryAt(ci_idx - 1), curCycle + 1);
             }
         } else {
-            redirectAfterTrace(*find(window.back()), curCycle + 1);
+            redirectAfterTrace(entryAt(window.size() - 1), curCycle + 1);
         }
         return;
     }
@@ -1007,34 +1036,38 @@ Processor::phaseDispatch()
 
     PendingTrace pt = frontend.pop();
 
-    // Rename and allocate a PE.
+    // Rename and (re)initialise the PE's pool entry in place — the slot
+    // vector and live-out list keep their capacity across occupants.
     int pe = freePes.back();
     freePes.pop_back();
 
-    auto t = makeInFlightTrace(nextUid++, pt.trace, map, prf);
-    t->peId = pe;
-    t->histBefore = pt.histBefore;
-    t->fromPredictor = pt.fromPredictor;
-    t->dispatchedAt = curCycle;
-    for (auto &d : t->slots)
+    InFlightTrace &t = pePool[pe];
+    initInFlightTrace(t, nextUid++, pt.trace, map, prf);
+    t.peId = pe;
+    t.histBefore = pt.histBefore;
+    t.fromPredictor = pt.fromPredictor;
+    t.dispatchedAt = curCycle;
+    for (auto &d : t.slots)
         d.earliestIssue = curCycle + 1;
 
-    lastDispatchedUid = t->uid;
+    lastDispatchedUid = t.uid;
 
     // Continuation expectation for the next dispatch.
-    const Trace &tr = *t->trace;
+    const Trace &tr = *t.trace;
     if (tr.end == TraceEnd::HALT || tr.fallthroughPc == invalidAddr)
         dispatchExpectedPc = invalidAddr;
     else
         dispatchExpectedPc = tr.fallthroughPc;
 
+    peUid[pe] = t.uid;
     if (insertMode.active) {
         int ci_idx = windowIndex(insertMode.targetUid);
-        window.insert(window.begin() + ci_idx, t->uid);
+        window.insert(window.begin() + ci_idx, t.uid);
+        windowPe.insert(windowPe.begin() + ci_idx, pe);
     } else {
-        window.push_back(t->uid);
+        window.push_back(t.uid);
+        windowPe.push_back(pe);
     }
-    traces[t->uid] = std::move(t);
     refreshLogicalPositions();
     ++stats.dispatchedTraces;
 }
@@ -1094,7 +1127,7 @@ Processor::phaseRetire()
 {
     if (window.empty())
         return;
-    InFlightTrace &t = *find(window.front());
+    InFlightTrace &t = entryAt(0);
 
     // A CGCI insertion in flight: the assumed-CI trace's data flow has
     // not been repaired yet (the trace re-dispatch sequence runs at
@@ -1117,7 +1150,7 @@ Processor::phaseRetire()
     // been validated (or no successor exists yet, in which case the
     // dispatchExpectedPc mechanism guards the next dispatch).
     if (t.trace->endsInIndirect() && window.size() > 1) {
-        if (find(window[1])->trace->id.startPc != t.slots.back().brTarget)
+        if (entryAt(1).trace->id.startPc != t.slots.back().brTarget)
             return;     // event is in flight
     }
 
@@ -1127,7 +1160,7 @@ Processor::phaseRetire()
     // insertion target.
     if (t.trace->fallthroughPc != invalidAddr && window.size() > 1 &&
         !(insertMode.active && window[1] == insertMode.targetUid)) {
-        panic_if(find(window[1])->trace->id.startPc !=
+        panic_if(entryAt(1).trace->id.startPc !=
                  t.trace->fallthroughPc,
                  "retire: successor does not continue the head trace "
                  "(head uid=%llu end=%s ft=%lld; succ uid=%llu start=%lld;"
@@ -1135,9 +1168,9 @@ Processor::phaseRetire()
                  static_cast<unsigned long long>(t.uid),
                  traceEndName(t.trace->end),
                  static_cast<long long>(t.trace->fallthroughPc),
-                 static_cast<unsigned long long>(find(window[1])->uid),
+                 static_cast<unsigned long long>(entryAt(1).uid),
                  static_cast<long long>(
-                     find(window[1])->trace->id.startPc),
+                     entryAt(1).trace->id.startPc),
                  insertMode.active ? 1 : 0,
                  static_cast<unsigned long long>(insertMode.targetUid));
     }
@@ -1183,8 +1216,11 @@ Processor::phaseRetire()
     TraceUid uid = t.uid;
     if (lastDispatchedUid == uid)
         lastDispatchedUid = invalidTraceUid;
+    peUid[t.peId] = invalidTraceUid;
+    t.trace.reset();
+    t.uid = invalidTraceUid;
     window.erase(window.begin());
-    traces.erase(uid);
+    windowPe.erase(windowPe.begin());
     refreshLogicalPositions();
 
     if (halted)
@@ -1199,10 +1235,25 @@ Processor::checkInvariants() const
              "PE accounting broken: %zu in window + %zu free != %d",
              window.size(), freePes.size(), cfg.numPEs);
     for (size_t i = 0; i < window.size(); ++i) {
-        const InFlightTrace *t = find(window[i]);
-        panic_if(!t, "window entry without trace");
-        panic_if(t->logicalPos != static_cast<int64_t>(i),
+        int pe = windowPe[i];
+        panic_if(peUid[pe] != window[i],
+                 "window entry without trace (pos %zu)", i);
+        const InFlightTrace &t = pePool[pe];
+        panic_if(t.uid != window[i], "pool uid out of sync");
+        panic_if(t.logicalPos != static_cast<int64_t>(i),
                  "stale logical position");
+        int not_issued = 0, in_flight = 0;
+        for (const auto &d : t.slots) {
+            if (d.completed)
+                continue;
+            if (d.issued)
+                ++in_flight;
+            else
+                ++not_issued;
+        }
+        panic_if(not_issued != t.slotsNotIssued ||
+                 in_flight != t.slotsIssuedNotDone,
+                 "pending-slot counters out of sync (pos %zu)", i);
     }
 }
 

@@ -31,7 +31,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "arb/arb.hh"
@@ -186,8 +185,18 @@ class Processor
 
     /** @name Window helpers. */
     /// @{
+    /** Resident trace by uid: a linear probe of the PE uid array (at
+     *  most numPEs comparisons over two cache lines — cheaper than any
+     *  hash for a 16-entry window, and stale uids simply miss). */
     InFlightTrace *find(TraceUid uid);
     const InFlightTrace *find(TraceUid uid) const;
+    /** The trace at window position wpos (O(1) pool index). */
+    InFlightTrace &entryAt(size_t wpos) { return pePool[windowPe[wpos]]; }
+    const InFlightTrace &
+    entryAt(size_t wpos) const
+    {
+        return pePool[windowPe[wpos]];
+    }
     int windowIndex(TraceUid uid) const;    //!< -1 if absent
     int64_t orderOf(TraceUid uid) const;    //!< ARB ordering callback
     void refreshLogicalPositions();
@@ -289,13 +298,36 @@ class Processor
 
     /** The linked-list window: trace uids in logical (program) order. */
     std::vector<TraceUid> window;
-    std::unordered_map<TraceUid, std::unique_ptr<InFlightTrace>> traces;
+    /** PE index of each window entry (parallel to window): the paper's
+     *  physical-to-logical translation, giving O(1) access from a
+     *  window position to the resident trace. */
+    std::vector<int> windowPe;
+    /**
+     * Flat PE slot pool, indexed by PE id. Each PE holds at most one
+     * in-flight trace (window.size() + freePes.size() == numPEs), so
+     * the pool replaces the old uid-keyed map of heap-allocated
+     * traces: dispatch re-initializes a pool entry in place (vector
+     * capacities survive, so the steady state allocates nothing), and
+     * lookup is an index or a short scan instead of a hash.
+     */
+    std::vector<InFlightTrace> pePool;
+    /** Resident trace uid per PE; invalidTraceUid = free. find() probes
+     *  this dense array. */
+    std::vector<TraceUid> peUid;
     std::vector<int> freePes;
 
     std::vector<MispEvent> events;
     std::deque<BusRequest> busQueue;
     std::deque<CacheRequest> cacheQueue;
     std::vector<PhysReg> deferredFree;
+
+    /** @name Per-cycle scratch (members so the hot phases allocate
+     *  nothing; contents are dead between cycles). */
+    /// @{
+    std::vector<int> busPerPe;
+    std::vector<CacheRequest> cacheKept;
+    std::vector<BusRequest> busKept;
+    /// @}
 
     /** One window entry's completion-scan output. (uid, slot) pairs
      *  are snapshotted like the serial scheduler's done-list so the

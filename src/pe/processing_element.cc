@@ -60,31 +60,51 @@ computeDeps(InFlightTrace &t, const RenameMap &map)
 
 } // anonymous namespace
 
-std::unique_ptr<InFlightTrace>
-makeInFlightTrace(TraceUid uid, std::shared_ptr<const Trace> trace,
-                  RenameMap &map, PhysRegFile &prf)
+void
+initInFlightTrace(InFlightTrace &t, TraceUid uid,
+                  std::shared_ptr<const Trace> trace, RenameMap &map,
+                  PhysRegFile &prf)
 {
-    auto t = std::make_unique<InFlightTrace>();
-    t->uid = uid;
-    t->trace = trace;
-    t->mapBefore = map;
+    t.uid = uid;
+    t.mapBefore = map;
+    t.peId = -1;
+    t.fromPredictor = false;
+    t.logicalPos = -1;
+    t.dispatchedAt = 0;
+    t.pendingMisp = 0;
 
-    t->slots.resize(trace->slots.size());
+    // assign() (not resize) so slots recycled from the previous occupant
+    // of this pool entry start from default dynamic state; the vector
+    // keeps its capacity.
+    t.slots.assign(trace->slots.size(), DynSlot{});
     for (size_t i = 0; i < trace->slots.size(); ++i)
-        setStatic(t->slots[i], trace->slots[i]);
+        setStatic(t.slots[i], trace->slots[i]);
+    t.trace = std::move(trace);
 
-    auto last_writer = computeDeps(*t, map);
+    auto last_writer = computeDeps(t, map);
 
     // Allocate global physical registers for live-outs and install them.
+    t.liveOuts.clear();
     for (int a = 0; a < numArchRegs; ++a) {
         int w = last_writer[a];
         if (w < 0)
             continue;
         PhysReg p = prf.alloc();
-        t->slots[w].dest = p;
-        t->liveOuts.push_back({static_cast<ArchReg>(a), p, w});
+        t.slots[w].dest = p;
+        t.liveOuts.push_back({static_cast<ArchReg>(a), p, w});
         map[a] = p;
     }
+
+    t.slotsNotIssued = static_cast<int>(t.slots.size());
+    t.slotsIssuedNotDone = 0;
+}
+
+std::unique_ptr<InFlightTrace>
+makeInFlightTrace(TraceUid uid, std::shared_ptr<const Trace> trace,
+                  RenameMap &map, PhysRegFile &prf)
+{
+    auto t = std::make_unique<InFlightTrace>();
+    initInFlightTrace(*t, uid, std::move(trace), map, prf);
     return t;
 }
 
@@ -171,6 +191,10 @@ repairInFlightTrace(InFlightTrace &t, std::shared_ptr<const Trace> new_trace,
         if (old_phys[a] != invalidPhysReg && !reused[a])
             deferred_free.push_back(old_phys[a]);
     }
+
+    // The slot array was rebuilt wholesale; re-derive the scheduling
+    // summaries from the surviving prefix + fresh suffix flags.
+    t.recountPending();
 }
 
 std::vector<int>

@@ -23,55 +23,66 @@
 namespace tproc
 {
 
-/** Dynamic state of one instruction slot in a PE. */
+/**
+ * Dynamic state of one instruction slot in a PE.
+ *
+ * Field order is load-bearing for the hot path: the issue/completion
+ * scans touch the flags, gate cycles, and renaming fields every cycle,
+ * so those lead the struct (first cache lines); the flags are packed
+ * together instead of interleaved with wider members.
+ */
 struct DynSlot
 {
-    /** @name Static portion (copied from the selected trace). */
+    /** @name Scheduling flags (hottest: read by every scan). */
     /// @{
-    Addr pc = 0;
-    Instruction inst;
+    bool issued = false;
+    bool completed = false;
+    bool waitingBus = false;    //!< agen done, waiting for a cache bus
+    bool agenDone = false;      //!< effective address computed
+    bool performed = false;     //!< store version live in the ARB
     bool isCondBr = false;
     bool predTaken = false;     //!< outcome the trace was selected with
+    bool resolvedTaken = false;     //!< branch outcome of last execution
+    /** Value-change filter across reissues: consumers only reissue when
+     *  a recompletion actually produced a different value. Deliberately
+     *  not cleared by resetDynamic. */
+    bool everCompleted = false;
     bool inRegion = false;
     bool regionStart = false;
-    Addr reconvPc = invalidAddr;
     /// @}
 
-    /** @name Renaming. */
+    /** @name Renaming (read by every readiness check). */
     /// @{
     int dep1 = -1;      //!< producer slot index for rs1, or -1
     int dep2 = -1;
     PhysReg src1 = invalidPhysReg;  //!< live-in phys reg for rs1
     PhysReg src2 = invalidPhysReg;
     PhysReg dest = invalidPhysReg;  //!< live-out phys reg (last writers)
+    uint32_t issueCount = 0;        //!< times issued (reissue statistics)
     /// @}
 
     /** @name Execution state. */
     /// @{
-    bool issued = false;
-    bool completed = false;
     Cycle execDoneAt = 0;   //!< completion time of the in-flight issue
     Cycle readyAt = 0;      //!< when the local value became consumable
     Cycle earliestIssue = 0;    //!< dispatch / repair / reissue gate
     int64_t value = 0;      //!< result (dest value / store data / br cond)
-    bool resolvedTaken = false;     //!< branch outcome of last execution
-    Addr brTarget = invalidAddr;    //!< resolved indirect target
+    int64_t lastValue = 0;
     int64_t srcVal1 = 0;    //!< operand values captured at issue
     int64_t srcVal2 = 0;
-    uint32_t issueCount = 0;        //!< times issued (reissue statistics)
-    /** Value-change filter across reissues: consumers only reissue when
-     *  a recompletion actually produced a different value. Deliberately
-     *  not cleared by resetDynamic. */
-    bool everCompleted = false;
-    int64_t lastValue = 0;
+    /// @}
+
+    /** @name Static portion (copied from the selected trace). */
+    /// @{
+    Addr pc = 0;
+    Instruction inst;
+    Addr reconvPc = invalidAddr;
     /// @}
 
     /** @name Memory state. */
     /// @{
     Addr effAddr = invalidAddr;
-    bool agenDone = false;      //!< effective address computed
-    bool performed = false;     //!< store version live in the ARB
-    bool waitingBus = false;    //!< agen done, waiting for a cache bus
+    Addr brTarget = invalidAddr;    //!< resolved indirect target
     /// @}
 
     bool isLoad() const { return inst.op == Opcode::LD; }
@@ -130,15 +141,51 @@ struct InFlightTrace
      *  trace (retirement gate). */
     int pendingMisp = 0;
 
+    /** @name Scheduling summaries (operand-readiness prechecks).
+     * Derived counts over the slots' (issued, completed) flags,
+     * maintained by the processor's issue/complete/reissue transitions
+     * and recounted wholesale after structural repair. They let the
+     * per-cycle issue and completion scans skip traces with no eligible
+     * slot without walking the slot array — pure scheduling metadata,
+     * so they cannot change simulation results. */
+    /// @{
+    int slotsNotIssued = 0;     //!< slots with !issued && !completed
+    int slotsIssuedNotDone = 0; //!< slots with issued && !completed
+    /// @}
+
     size_t size() const { return slots.size(); }
+
+    /** Recompute the scheduling summaries from the slot flags. */
+    void
+    recountPending()
+    {
+        slotsNotIssued = slotsIssuedNotDone = 0;
+        for (const DynSlot &d : slots) {
+            if (!d.completed) {
+                if (d.issued)
+                    ++slotsIssuedNotDone;
+                else
+                    ++slotsNotIssued;
+            }
+        }
+    }
 };
 
 /**
- * Rename a freshly selected trace against the global map.
+ * Rename a freshly selected trace against the global map, in place.
  *
  * The map is updated in place with the trace's live-outs. Intra-trace
  * dependences become slot indices; live-ins read the pre-update map.
+ * t is fully re-initialized for the new trace but keeps its vectors'
+ * capacity — the processor's PE slot pool recycles the same
+ * InFlightTrace across dispatches, so the steady state allocates
+ * nothing.
  */
+void initInFlightTrace(InFlightTrace &t, TraceUid uid,
+                       std::shared_ptr<const Trace> trace, RenameMap &map,
+                       PhysRegFile &prf);
+
+/** Allocating convenience wrapper around initInFlightTrace (tests). */
 std::unique_ptr<InFlightTrace> makeInFlightTrace(
     TraceUid uid, std::shared_ptr<const Trace> trace, RenameMap &map,
     PhysRegFile &prf);

@@ -5,14 +5,15 @@
 namespace tproc
 {
 
-PhysRegFile::PhysRegFile(size_t n) : regs(n)
+PhysRegFile::PhysRegFile(size_t n)
+    : values(n, 0), readyAts(n, 0), valids(n, 0), inUses(n, 0)
 {
     panic_if(n < numArchRegs + 2, "PhysRegFile too small");
     // Register 0 is the architectural zero: always valid, never freed.
-    regs[zeroReg].valid = true;
-    regs[zeroReg].inUse = true;
-    regs[zeroReg].value = 0;
-    regs[zeroReg].readyAt = 0;
+    valids[zeroReg] = 1;
+    inUses[zeroReg] = 1;
+    values[zeroReg] = 0;
+    readyAts[zeroReg] = 0;
 
     freeList.reserve(n - 1);
     for (size_t i = n - 1; i >= 1; --i)
@@ -25,11 +26,10 @@ PhysRegFile::alloc()
     panic_if(freeList.empty(), "PhysRegFile exhausted");
     PhysReg r = freeList.back();
     freeList.pop_back();
-    Entry &e = regs[r];
-    e.valid = false;
-    e.inUse = true;
-    e.value = 0;
-    e.readyAt = 0;
+    valids[r] = 0;
+    inUses[r] = 1;
+    values[r] = 0;
+    readyAts[r] = 0;
     return r;
 }
 
@@ -38,10 +38,9 @@ PhysRegFile::free(PhysReg r)
 {
     if (r == zeroReg)
         return;
-    Entry &e = regs[r];
-    panic_if(!e.inUse, "double free of physical register %u", r);
-    e.inUse = false;
-    e.valid = false;
+    panic_if(!inUses[r], "double free of physical register %u", r);
+    inUses[r] = 0;
+    valids[r] = 0;
     freeList.push_back(r);
 }
 
@@ -49,11 +48,10 @@ void
 PhysRegFile::write(PhysReg r, int64_t value, Cycle ready_at)
 {
     panic_if(r == zeroReg, "write to the zero register");
-    Entry &e = regs[r];
-    panic_if(!e.inUse, "write to a free physical register %u", r);
-    e.value = value;
-    e.valid = true;
-    e.readyAt = ready_at;
+    panic_if(!inUses[r], "write to a free physical register %u", r);
+    values[r] = value;
+    valids[r] = 1;
+    readyAts[r] = ready_at;
 }
 
 } // namespace tproc

@@ -30,6 +30,11 @@ using RenameMap = std::array<PhysReg, numArchRegs>;
  * permanently holds zero (all architectural registers map to it at
  * reset). Values may be rewritten by selective reissue; consumers are
  * re-notified through the processor's broadcast path.
+ *
+ * Storage is structure-of-arrays: the per-cycle operand-readiness scans
+ * touch only the valid flags and ready cycles, so those live in their
+ * own dense arrays (a 64K-entry AoS layout drags the 8-byte values and
+ * allocator state through the cache on every readiness probe).
  */
 class PhysRegFile
 {
@@ -46,16 +51,15 @@ class PhysRegFile
     bool
     ready(PhysReg r, Cycle now) const
     {
-        const Entry &e = regs[r];
-        return e.valid && now >= e.readyAt;
+        return valids[r] && now >= readyAts[r];
     }
 
-    bool hasValue(PhysReg r) const { return regs[r].valid; }
-    int64_t value(PhysReg r) const { return regs[r].value; }
-    Cycle readyAt(PhysReg r) const { return regs[r].readyAt; }
+    bool hasValue(PhysReg r) const { return valids[r] != 0; }
+    int64_t value(PhysReg r) const { return values[r]; }
+    Cycle readyAt(PhysReg r) const { return readyAts[r]; }
 
     size_t freeCount() const { return freeList.size(); }
-    size_t capacity() const { return regs.size(); }
+    size_t capacity() const { return values.size(); }
 
     /** Reset map: every architectural register reads as zero. */
     static RenameMap
@@ -69,15 +73,10 @@ class PhysRegFile
     static constexpr PhysReg zeroReg = 0;
 
   private:
-    struct Entry
-    {
-        int64_t value = 0;
-        bool valid = false;
-        bool inUse = false;
-        Cycle readyAt = 0;
-    };
-
-    std::vector<Entry> regs;
+    std::vector<int64_t> values;
+    std::vector<Cycle> readyAts;
+    std::vector<uint8_t> valids;
+    std::vector<uint8_t> inUses;
     std::vector<PhysReg> freeList;
 };
 
