@@ -1,0 +1,72 @@
+#include "common/hires_timer.hh"
+
+#include <algorithm>
+
+namespace tproc
+{
+
+void
+PhaseTimers::add(std::string_view name, double seconds, uint64_t count)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = index.find(std::string(name));
+    size_t i;
+    if (it == index.end()) {
+        i = order.size();
+        order.push_back(PhaseStat{std::string(name), 0.0, 0});
+        index.emplace(std::string(name), i);
+    } else {
+        i = it->second;
+    }
+    order[i].seconds += seconds;
+    order[i].count += count;
+}
+
+std::vector<PhaseStat>
+PhaseTimers::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return order;
+}
+
+void
+PhaseTimers::reset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    order.clear();
+    index.clear();
+}
+
+PhaseTimers &
+PhaseTimers::global()
+{
+    static PhaseTimers timers;
+    return timers;
+}
+
+std::vector<PhaseStat>
+PhaseTimers::diff(const std::vector<PhaseStat> &after,
+                  const std::vector<PhaseStat> &before)
+{
+    std::vector<PhaseStat> out;
+    out.reserve(after.size());
+    for (const auto &a : after) {
+        const PhaseStat *b = nullptr;
+        for (const auto &cand : before) {
+            if (cand.name == a.name) {
+                b = &cand;
+                break;
+            }
+        }
+        PhaseStat d = a;
+        if (b) {
+            d.seconds = std::max(0.0, a.seconds - b->seconds);
+            d.count = a.count >= b->count ? a.count - b->count : 0;
+        }
+        if (d.count > 0 || d.seconds > 0.0)
+            out.push_back(std::move(d));
+    }
+    return out;
+}
+
+} // namespace tproc

@@ -1,0 +1,144 @@
+#include "common/timeseries.hh"
+
+#include <stdexcept>
+
+namespace tproc
+{
+
+IntervalSeries::IntervalSeries(uint64_t interval_,
+                               std::vector<std::string> channels_,
+                               size_t capacity_)
+    : interval(interval_), cap(capacity_), names(std::move(channels_))
+{
+    if (interval == 0)
+        throw std::invalid_argument("IntervalSeries: interval must be > 0");
+    if (cap == 0)
+        throw std::invalid_argument("IntervalSeries: capacity must be > 0");
+    ring.reserve(cap);
+}
+
+void
+IntervalSeries::record(uint64_t cycle, const double *values, size_t n)
+{
+    if (!enabled())
+        throw std::logic_error("IntervalSeries: record() on a disabled "
+                               "series");
+    if (n != names.size()) {
+        throw std::invalid_argument(
+            "IntervalSeries: got " + std::to_string(n) + " values for " +
+            std::to_string(names.size()) + " channels");
+    }
+    if (ring.size() < cap) {
+        Sample s;
+        s.cycle = cycle;
+        s.values.assign(values, values + n);
+        ring.push_back(std::move(s));
+    } else {
+        // Full: overwrite the oldest in place (the value vector keeps
+        // its capacity, so steady-state recording allocates nothing).
+        Sample &s = ring[head];
+        s.cycle = cycle;
+        s.values.assign(values, values + n);
+        head = (head + 1) % cap;
+    }
+    ++total;
+}
+
+const IntervalSeries::Sample &
+IntervalSeries::at(size_t i) const
+{
+    if (i >= ring.size())
+        throw std::out_of_range("IntervalSeries: sample index " +
+                                std::to_string(i) + " of " +
+                                std::to_string(ring.size()));
+    // Until the ring wraps, head stays 0 and this is the identity map.
+    return ring[(head + i) % ring.size()];
+}
+
+JsonValue
+IntervalSeries::toJson() const
+{
+    JsonValue out = JsonValue::makeObject();
+    out.set("interval", JsonValue::makeNumber(
+                            static_cast<double>(interval)));
+    out.set("capacity",
+            JsonValue::makeNumber(static_cast<double>(cap)));
+    JsonValue chans = JsonValue::makeArray();
+    for (const auto &name : names)
+        chans.push(JsonValue::makeString(name));
+    out.set("channels", std::move(chans));
+    out.set("recorded",
+            JsonValue::makeNumber(static_cast<double>(total)));
+    out.set("dropped",
+            JsonValue::makeNumber(static_cast<double>(dropped())));
+    JsonValue samples = JsonValue::makeArray();
+    for (size_t i = 0; i < ring.size(); ++i) {
+        const Sample &s = at(i);
+        JsonValue row = JsonValue::makeArray();
+        row.push(JsonValue::makeNumber(static_cast<double>(s.cycle)));
+        for (double v : s.values)
+            row.push(JsonValue::makeNumber(v));
+        samples.push(std::move(row));
+    }
+    out.set("samples", std::move(samples));
+    return out;
+}
+
+IntervalSeries
+IntervalSeries::fromJson(const JsonValue &v)
+{
+    std::vector<std::string> names;
+    for (const auto &c : v.at("channels").asArray())
+        names.push_back(c.asString());
+    IntervalSeries s(
+        static_cast<uint64_t>(v.at("interval").asNumber()),
+        std::move(names),
+        static_cast<size_t>(v.at("capacity").asNumber()));
+    const auto &rows = v.at("samples").asArray();
+    std::vector<double> vals;
+    for (const auto &row : rows) {
+        const auto &cells = row.asArray();
+        if (cells.size() != s.names.size() + 1) {
+            throw std::runtime_error(
+                "IntervalSeries: sample row has " +
+                std::to_string(cells.size()) + " cells, want " +
+                std::to_string(s.names.size() + 1));
+        }
+        vals.clear();
+        for (size_t i = 1; i < cells.size(); ++i)
+            vals.push_back(cells[i].asNumber());
+        s.record(static_cast<uint64_t>(cells[0].asNumber()),
+                 vals.data(), vals.size());
+    }
+    // Replace the replayed total with the document's: the retained
+    // rows are only the ring's survivors, but recorded/dropped must
+    // round-trip.
+    const auto recorded =
+        static_cast<uint64_t>(v.at("recorded").asNumber());
+    if (recorded < s.total) {
+        throw std::runtime_error(
+            "IntervalSeries: recorded count " + std::to_string(recorded) +
+            " is less than the " + std::to_string(s.total) +
+            " samples present");
+    }
+    s.total = recorded;
+    return s;
+}
+
+bool
+IntervalSeries::operator==(const IntervalSeries &o) const
+{
+    if (interval != o.interval || cap != o.cap || names != o.names ||
+        total != o.total || ring.size() != o.ring.size()) {
+        return false;
+    }
+    for (size_t i = 0; i < ring.size(); ++i) {
+        const Sample &a = at(i);
+        const Sample &b = o.at(i);
+        if (a.cycle != b.cycle || a.values != b.values)
+            return false;
+    }
+    return true;
+}
+
+} // namespace tproc

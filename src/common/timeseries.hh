@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Windowed time-series statistics: a fixed-capacity ring buffer of
+ * per-interval samples over named channels.
+ *
+ * StatDict is an end-of-run snapshot; an IntervalSeries is what
+ * happened *between* cycle 0 and that snapshot — per-interval IPC,
+ * hit rates, occupancy — cheap enough to leave on in production runs.
+ * The recorder (Processor::step, behind
+ * ProcessorConfig::metricsInterval) pays one branch per cycle when
+ * sampling is off and a handful of adds plus one record() per interval
+ * when it is on; the series itself never influences simulation
+ * behaviour, so final statistics are bit-identical either way
+ * (tests/test_metrics.cc enforces this).
+ *
+ * Sample *values* are derived from deterministic counters, so the
+ * series content is reproducible run to run; only the `phases` wall
+ * timings of a metrics document are host-dependent. The JSON shape is
+ * part of the tproc-metrics-v1 contract — see docs/metrics.md before
+ * changing anything here.
+ */
+
+#ifndef TPROC_COMMON_TIMESERIES_HH
+#define TPROC_COMMON_TIMESERIES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace tproc
+{
+
+/**
+ * A bounded series of interval samples over a fixed set of channels.
+ * Capacity is fixed at construction; once full, the oldest sample is
+ * overwritten (ring buffer), so a series holds the *last*
+ * `capacity()` intervals and counts what it dropped. Retained samples
+ * read back in chronological order through at().
+ */
+class IntervalSeries
+{
+  public:
+    /** One interval: the cycle the interval ended on, plus one value
+     *  per channel (same order as channels()). */
+    struct Sample
+    {
+        uint64_t cycle = 0;
+        std::vector<double> values;
+    };
+
+    static constexpr size_t defaultCapacity = 512;
+
+    /** A disabled (interval 0, no channels) series; record() on it is
+     *  invalid. */
+    IntervalSeries() = default;
+
+    /**
+     * @param interval_ sampling period in cycles (must be > 0)
+     * @param channels_ channel names, fixing the row width
+     * @param capacity_ retained-sample bound (must be > 0)
+     */
+    IntervalSeries(uint64_t interval_, std::vector<std::string> channels_,
+                   size_t capacity_ = defaultCapacity);
+
+    bool enabled() const { return interval > 0; }
+    uint64_t intervalCycles() const { return interval; }
+    size_t capacity() const { return cap; }
+    const std::vector<std::string> &channels() const { return names; }
+
+    /**
+     * Append one sample. `n` must equal channels().size(); `cycle` is
+     * the end cycle of the interval. Overwrites the oldest sample when
+     * full.
+     */
+    void record(uint64_t cycle, const double *values, size_t n);
+
+    /** Retained samples (<= capacity()). */
+    size_t size() const { return ring.size(); }
+    bool empty() const { return ring.empty(); }
+
+    /** Samples ever recorded, including overwritten ones. */
+    uint64_t recorded() const { return total; }
+
+    /** Samples lost to the ring bound (recorded() - size()). */
+    uint64_t dropped() const { return total - ring.size(); }
+
+    /** i-th retained sample in chronological order (0 = oldest). */
+    const Sample &at(size_t i) const;
+
+    /**
+     * The tproc-metrics-v1 `series` object: interval, capacity,
+     * channels, recorded/dropped counts, and the retained samples as
+     * rows of [cycle, v0, v1, ...]. fromJson() is the exact inverse.
+     */
+    JsonValue toJson() const;
+
+    /** Rebuild a series from its toJson() form. Throws
+     *  std::runtime_error on a malformed or inconsistent document. */
+    static IntervalSeries fromJson(const JsonValue &v);
+
+    bool operator==(const IntervalSeries &o) const;
+    bool operator!=(const IntervalSeries &o) const { return !(*this == o); }
+
+  private:
+    uint64_t interval = 0;
+    size_t cap = 0;
+    std::vector<std::string> names;
+
+    std::vector<Sample> ring;   //!< ring storage, wraps at cap
+    size_t head = 0;            //!< next write position once full
+    uint64_t total = 0;         //!< samples ever recorded
+};
+
+} // namespace tproc
+
+#endif // TPROC_COMMON_TIMESERIES_HH

@@ -88,6 +88,21 @@ struct ProcessorConfig
      * to inline execution, N > 1 runs the compute phases N-wide.
      */
     int peThreads = 0;
+
+    /**
+     * Windowed telemetry: sample the interval metrics channels (see
+     * docs/metrics.md) every this many cycles into a bounded
+     * IntervalSeries ring buffer. 0 (default) disables sampling — the
+     * cycle loop then pays exactly one predictable branch — and any
+     * value leaves the final statistics bit-identical by construction:
+     * the recorder only *reads* counters (tests/test_metrics.cc and
+     * the CI golden job enforce this).
+     */
+    uint64_t metricsInterval = 0;
+
+    /** Retained-interval bound for the metrics ring buffer; once full,
+     *  the oldest interval is overwritten and counted as dropped. */
+    size_t metricsCapacity = 512;
     /// @}
 
     /**

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/hires_timer.hh"
 #include "common/logging.hh"
 #include "harness/cycle_pool.hh"
 #include "isa/disasm.hh"
@@ -33,6 +34,34 @@ traceRecovery()
 
 } // anonymous namespace
 
+/**
+ * Interval accumulators and counter snapshots for the telemetry
+ * recorder. The "last*" members remember each source counter at the
+ * previous interval boundary so every sample reports a clean delta;
+ * the sums average per-cycle facts (occupancy, bus backlog) over the
+ * interval; the wall-second accumulators feed the cycle_compute /
+ * cycle_commit phase attribution. Strictly observer state: nothing in
+ * here is ever read by the simulation itself.
+ */
+struct Processor::MetricsState
+{
+    IntervalSeries series;
+    uint64_t countdown = 0;
+
+    uint64_t lastRetired = 0;
+    uint64_t lastMisp = 0;
+    uint64_t lastTcLookups = 0;
+    uint64_t lastTcMisses = 0;
+    uint64_t lastFetchStall = 0;
+    uint64_t lastDispatchBlocked = 0;
+    uint64_t lastViolations = 0;
+    double occupancySum = 0.0;
+    double busBacklogSum = 0.0;
+
+    double computeSeconds = 0.0;
+    double cycleSeconds = 0.0;
+};
+
 Processor::Processor(const Program &prog_, const ProcessorConfig &cfg_,
                      std::unique_ptr<ArchSource> golden_source)
     : prog(prog_), cfg(cfg_), frontend(prog_, cfg),
@@ -57,6 +86,12 @@ Processor::Processor(const Program &prog_, const ProcessorConfig &cfg_,
     if (cfg.peThreads > 0)
         peThreadPool = std::make_unique<harness::CyclePool>(
             static_cast<unsigned>(cfg.peThreads));
+    if (cfg.metricsInterval > 0) {
+        metrics = std::make_unique<MetricsState>();
+        metrics->series = IntervalSeries(
+            cfg.metricsInterval, metricsChannels(), cfg.metricsCapacity);
+        metrics->countdown = cfg.metricsInterval;
+    }
 }
 
 Processor::~Processor() = default;
@@ -113,6 +148,19 @@ Processor::refreshLogicalPositions()
 
 void
 Processor::step()
+{
+    if (!metrics) {
+        stepPhases();
+        return;
+    }
+    HiresTimer cycle_timer;
+    stepPhases();
+    metrics->cycleSeconds += cycle_timer.seconds();
+    tickMetrics();
+}
+
+void
+Processor::stepPhases()
 {
     phaseCompletions();
     phaseCacheBuses();
@@ -181,6 +229,102 @@ Processor::run(uint64_t max_insts, uint64_t max_cycles)
     stats.constructions = frontend.constructions;
     stats.loadViolations = arb.violations;
     return stats;
+}
+
+// ---------------------------------------------------------------------
+// Windowed telemetry (cfg.metricsInterval): a pure observer of the
+// counters the simulation maintains anyway. docs/metrics.md documents
+// every channel; keep the two in lockstep.
+// ---------------------------------------------------------------------
+
+const std::vector<std::string> &
+Processor::metricsChannels()
+{
+    static const std::vector<std::string> channels = {
+        "ipc",                    // retired insts / cycle, this interval
+        "misp_per_kilo",          // trace misp events per 1k insts
+        "tc_hit_rate",            // trace-cache hits / lookups
+        "window_occupancy",       // mean resident traces per cycle
+        "bus_backlog",            // mean queued result-bus requests
+        "fetch_stall_frac",       // cycles the frontend produced nothing
+        "dispatch_blocked_frac",  // cycles the dispatch bus was busy
+        "arb_violations",         // load-ordering violations detected
+    };
+    return channels;
+}
+
+const IntervalSeries *
+Processor::metricsSeries() const
+{
+    return metrics ? &metrics->series : nullptr;
+}
+
+double
+Processor::metricsComputeSeconds() const
+{
+    return metrics ? metrics->computeSeconds : 0.0;
+}
+
+double
+Processor::metricsCycleSeconds() const
+{
+    return metrics ? metrics->cycleSeconds : 0.0;
+}
+
+void
+Processor::tickMetrics()
+{
+    MetricsState &m = *metrics;
+    m.occupancySum += static_cast<double>(window.size());
+    m.busBacklogSum += static_cast<double>(busQueue.size());
+    if (--m.countdown == 0)
+        sampleMetrics();
+}
+
+void
+Processor::sampleMetrics()
+{
+    MetricsState &m = *metrics;
+    const double interval = static_cast<double>(cfg.metricsInterval);
+    const uint64_t insts = stats.retiredInsts - m.lastRetired;
+    const uint64_t misp = stats.mispEvents - m.lastMisp;
+    const uint64_t tc_lookups =
+        frontend.traceCache().lookups - m.lastTcLookups;
+    const uint64_t tc_misses =
+        frontend.traceCache().misses - m.lastTcMisses;
+    const uint64_t fetch_stall =
+        stats.fetchStallCycles - m.lastFetchStall;
+    const uint64_t dispatch_blocked =
+        stats.dispatchBlockedCycles - m.lastDispatchBlocked;
+    const uint64_t violations = arb.violations - m.lastViolations;
+
+    const double values[] = {
+        static_cast<double>(insts) / interval,
+        insts ? 1000.0 * static_cast<double>(misp) /
+                    static_cast<double>(insts)
+              : 0.0,
+        tc_lookups ? static_cast<double>(tc_lookups - tc_misses) /
+                         static_cast<double>(tc_lookups)
+                   : 0.0,
+        m.occupancySum / interval,
+        m.busBacklogSum / interval,
+        static_cast<double>(fetch_stall) / interval,
+        static_cast<double>(dispatch_blocked) / interval,
+        static_cast<double>(violations),
+    };
+    m.series.record(curCycle, values,
+                    sizeof(values) / sizeof(values[0]));
+
+    m.lastRetired = stats.retiredInsts;
+    m.lastMisp = stats.mispEvents;
+    m.lastTcLookups = frontend.traceCache().lookups;
+    m.lastTcMisses = frontend.traceCache().misses;
+    m.lastFetchStall = stats.fetchStallCycles;
+    m.lastDispatchBlocked = stats.dispatchBlockedCycles;
+    m.lastViolations = arb.violations;
+    m.occupancySum = 0.0;
+    m.busBacklogSum = 0.0;
+    m.countdown = cfg.metricsInterval;
 }
 
 // ---------------------------------------------------------------------
@@ -295,6 +439,13 @@ Processor::phaseIssue()
     // Pure compute phase: each PE issues against its own slots and the
     // frozen register file (nothing writes prf during issue), so there
     // is no commit half and no cross-PE ordering to preserve.
+    if (metrics) {
+        HiresTimer t;
+        forEachWindowEntry(window.size(),
+                           [this](size_t i) { issueTrace(entryAt(i)); });
+        metrics->computeSeconds += t.seconds();
+        return;
+    }
     forEachWindowEntry(window.size(),
                        [this](size_t i) { issueTrace(entryAt(i)); });
 }
@@ -334,7 +485,13 @@ Processor::phaseCompletions()
     const size_t n = window.size();
     if (scanScratch.size() < n)
         scanScratch.resize(n);
-    forEachWindowEntry(n, [this](size_t i) { scanCompletions(i); });
+    if (metrics) {
+        HiresTimer t;
+        forEachWindowEntry(n, [this](size_t i) { scanCompletions(i); });
+        metrics->computeSeconds += t.seconds();
+    } else {
+        forEachWindowEntry(n, [this](size_t i) { scanCompletions(i); });
+    }
 
     // Commit: apply completion side effects serially in window order,
     // revalidating each snapshotted (uid, slot) pair — an earlier

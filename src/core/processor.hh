@@ -35,6 +35,7 @@
 
 #include "arb/arb.hh"
 #include "cache/dcache.hh"
+#include "common/timeseries.hh"
 #include "core/config.hh"
 #include "emulator/emulator.hh"
 #include "frontend/frontend.hh"
@@ -151,6 +152,24 @@ class Processor
 
     /** Check internal invariants (tests call this liberally). */
     void checkInvariants() const;
+
+    /** @name Windowed telemetry (cfg.metricsInterval > 0).
+     * The recorder is a pure observer of the counters the simulation
+     * already maintains, so statistics are bit-identical whether or
+     * not it runs; with sampling off the cycle loop pays exactly one
+     * branch. docs/metrics.md is the normative channel reference. */
+    /// @{
+    /** Channel names, in sample-row order. */
+    static const std::vector<std::string> &metricsChannels();
+    /** Interval series recorded so far; null when sampling is off. */
+    const IntervalSeries *metricsSeries() const;
+    /** Wall seconds spent in the per-PE compute halves
+     *  (completion-scan + issue) so far; 0 when sampling is off. */
+    double metricsComputeSeconds() const;
+    /** Wall seconds spent in the whole cycle loop so far; 0 when
+     *  sampling is off. The serial-commit share is the difference. */
+    double metricsCycleSeconds() const;
+    /// @}
 
   private:
     /** A detected control misprediction awaiting recovery. */
@@ -345,6 +364,16 @@ class Processor
     std::unique_ptr<harness::CyclePool> peThreadPool;
     /** Per-window-entry scan output, reused across cycles. */
     std::vector<CompletionScan> scanScratch;
+
+    /** Telemetry recorder state; null when cfg.metricsInterval is 0. */
+    struct MetricsState;
+    std::unique_ptr<MetricsState> metrics;
+    /** Advance the cycle-loop phases (the pre-telemetry step body). */
+    void stepPhases();
+    /** Per-cycle accumulation + interval-boundary sampling. */
+    void tickMetrics();
+    /** Emit one interval sample and reset the interval accumulators. */
+    void sampleMetrics();
 
     InsertMode insertMode;
 

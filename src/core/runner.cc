@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "common/hires_timer.hh"
 #include "common/stats.hh"
 
 namespace tproc
@@ -18,10 +19,28 @@ runModel(const Program &prog, std::string_view model, uint64_t max_insts,
 
 ProcessorStats
 runConfig(const Program &prog, const ProcessorConfig &cfg,
-          uint64_t max_insts, std::unique_ptr<ArchSource> golden)
+          uint64_t max_insts, std::unique_ptr<ArchSource> golden,
+          RunMetrics *metrics_out)
 {
+    auto simulate = PhaseTimers::global().scope("simulate");
     Processor p(prog, cfg, std::move(golden));
-    return p.run(max_insts);
+    ProcessorStats stats = p.run(max_insts);
+    if (const IntervalSeries *series = p.metricsSeries()) {
+        // The per-cycle split accumulates lock-free inside the
+        // processor; fold it into the global registry once per run.
+        const double compute = p.metricsComputeSeconds();
+        const double cycle = p.metricsCycleSeconds();
+        PhaseTimers::global().add("cycle_compute", compute);
+        PhaseTimers::global().add("cycle_commit",
+                                  cycle > compute ? cycle - compute
+                                                  : 0.0);
+        if (metrics_out) {
+            metrics_out->series = *series;
+            metrics_out->computeSeconds = compute;
+            metrics_out->cycleSeconds = cycle;
+        }
+    }
+    return stats;
 }
 
 std::string

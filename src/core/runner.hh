@@ -26,13 +26,33 @@ ProcessorStats runModel(const Program &prog, std::string_view model,
                         bool verify = true);
 
 /**
+ * Telemetry carried out of one runConfig call when the configuration
+ * enables windowed sampling (cfg.metricsInterval > 0): the interval
+ * series plus the wall time the cycle loop spent in the parallelizable
+ * per-PE compute phases versus everything else. Pure observation —
+ * requesting it never changes ProcessorStats (docs/metrics.md).
+ */
+struct RunMetrics
+{
+    IntervalSeries series;
+    double computeSeconds = 0.0; //!< per-PE compute phases (PR-4 split)
+    double cycleSeconds = 0.0;   //!< whole cycle loop, compute included
+};
+
+/**
  * As runModel but with an explicit configuration. An optional golden
  * ArchSource (e.g. a replay::ReplaySource over a recorded trace)
  * replaces the live Emulator on the retirement-verification port.
+ *
+ * The run is timed under the "simulate" phase of PhaseTimers::global();
+ * when cfg.metricsInterval > 0 the cycle-loop split is folded into the
+ * "cycle_compute" / "cycle_commit" phases and, if metrics_out is
+ * non-null, the sampled series is copied there.
  */
 ProcessorStats runConfig(const Program &prog, const ProcessorConfig &cfg,
                          uint64_t max_insts = UINT64_MAX,
-                         std::unique_ptr<ArchSource> golden = nullptr);
+                         std::unique_ptr<ArchSource> golden = nullptr,
+                         RunMetrics *metrics_out = nullptr);
 
 /** Print a one-stop summary of a run. */
 void printStats(std::ostream &os, const std::string &title,

@@ -8,6 +8,8 @@
 
 #include <unistd.h>
 
+#include "common/hires_timer.hh"
+#include "harness/metrics.hh"
 #include "harness/sweep.hh"
 #include "replay/capture.hh"
 #include "replay/trace_store.hh"
@@ -26,6 +28,10 @@ struct Timed
     ProcessorStats stats;
     double wall = 0.0;
     bool stable = true;
+
+    /** Telemetry from the first rep (disabled unless the point sampled;
+     *  reps are bit-identical, so one series represents them all). */
+    IntervalSeries series;
 };
 
 Timed
@@ -43,6 +49,7 @@ bestOf(const SweepPoint &p, int reps)
         if (rep == 0) {
             t.stats = r.stats;
             t.wall = r.wallSeconds;
+            t.series = std::move(r.series);
             ref = std::move(d);
         } else {
             if (d != ref)
@@ -80,7 +87,7 @@ timingKeys()
         "wall_seconds",  "cycles_per_sec",     "insts_per_sec",
         "live_seconds",  "cold_seconds",       "warm_seconds",
         "speedup",       "total_wall_seconds", "baseline",
-        "host",
+        "host",          "phases",
     };
     return keys;
 }
@@ -198,7 +205,8 @@ diffValues(const JsonValue &a, const JsonValue &b, const std::string &path,
 } // namespace
 
 JsonValue
-runBenchReport(const BenchReportOptions &opts, std::ostream *progress)
+runBenchReport(const BenchReportOptions &opts, std::ostream *progress,
+               JsonValue *metricsDoc)
 {
     auto say = [&](const std::string &line) {
         if (progress)
@@ -208,6 +216,12 @@ runBenchReport(const BenchReportOptions &opts, std::ostream *progress)
     if (names.empty())
         throw std::runtime_error("no workloads registered");
 
+    // Phase attribution is scoped to this run: diff the global
+    // registry around it so an earlier run in the same process (e.g. a
+    // --check baseline pass) does not bleed in.
+    const std::vector<PhaseStat> phases_before =
+        PhaseTimers::global().snapshot();
+
     auto makePoint = [&](const std::string &workload) {
         SweepPoint p;
         p.workload = workload;
@@ -215,6 +229,7 @@ runBenchReport(const BenchReportOptions &opts, std::ostream *progress)
         p.seed = opts.seed;
         p.maxInsts = opts.insts;
         p.verify = opts.verify;
+        p.metricsInterval = opts.metricsInterval;
         return p;
     };
 
@@ -227,6 +242,7 @@ runBenchReport(const BenchReportOptions &opts, std::ostream *progress)
     // Live pass: every golden workload from scratch, best of reps.
     JsonValue workloads = JsonValue::makeArray();
     std::vector<Timed> live(names.size());
+    std::vector<SweepResult> live_results;
     size_t slowest = 0;
     double live_total_s = 0.0;
     bool stats_stable = true;
@@ -235,6 +251,15 @@ runBenchReport(const BenchReportOptions &opts, std::ostream *progress)
             " reps)...");
         live[i] = bestOf(makePoint(names[i]), opts.reps);
         stats_stable = stats_stable && live[i].stable;
+        if (opts.metricsInterval > 0) {
+            SweepResult lr;
+            lr.point = makePoint(names[i]);
+            lr.point.index = i;
+            lr.ok = true;
+            lr.stats = live[i].stats;
+            lr.series = live[i].series;
+            live_results.push_back(std::move(lr));
+        }
         const auto &s = live[i].stats;
         aggCycles += static_cast<double>(s.cycles);
         aggInsts += static_cast<double>(s.retiredInsts);
@@ -413,6 +438,26 @@ runBenchReport(const BenchReportOptions &opts, std::ostream *progress)
     identity.set("pe_parallel_identical",
                  JsonValue::makeBool(pe_identical));
     report.set("identity", std::move(identity));
+
+    // Where this run's wall clock went. "phases" is on the timing
+    // denylist: host-dependent attribution, never part of the
+    // non-timing identity CI gates on.
+    const std::vector<PhaseStat> phase_diff = PhaseTimers::diff(
+        PhaseTimers::global().snapshot(), phases_before);
+    JsonValue phases = JsonValue::makeArray();
+    for (const auto &ph : phase_diff) {
+        JsonValue p = JsonValue::makeObject();
+        p.set("name", JsonValue::makeString(ph.name));
+        p.set("seconds", num(ph.seconds));
+        p.set("count", num(static_cast<double>(ph.count)));
+        phases.push(std::move(p));
+    }
+    report.set("phases", std::move(phases));
+
+    if (metricsDoc && opts.metricsInterval > 0) {
+        *metricsDoc = buildMetricsDoc(opts.metricsInterval, live_results,
+                                      phase_diff);
+    }
 
     return report;
 }

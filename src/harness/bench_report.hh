@@ -61,6 +61,15 @@ struct BenchReportOptions
     /** Trace directory for the replay passes; empty = fresh temp dir,
      *  removed afterwards. */
     std::string traceDir;
+
+    /**
+     * Windowed-telemetry sampling interval for every bench point
+     * (ProcessorConfig::metricsInterval; 0 = off). Never part of the
+     * report's non-timing identity: stats are bit-identical either way
+     * by the telemetry contract, and the sampled series only leaves
+     * through the metricsDoc out-param of runBenchReport.
+     */
+    uint64_t metricsInterval = 0;
 };
 
 /**
@@ -68,9 +77,17 @@ struct BenchReportOptions
  * lines go to *progress when non-null. Throws std::runtime_error if a
  * simulation point fails (a broken simulator must not produce a
  * plausible-looking artifact).
+ *
+ * The report carries a "phases" block (wall-clock attribution from
+ * PhaseTimers::global(), scoped to this run) which — like wall_seconds
+ * and host — is a timing field, stripped from the non-timing view.
+ * When opts.metricsInterval > 0 and metricsDoc is non-null, a
+ * tproc-metrics-v1 document covering the live pass is stored there
+ * (see harness/metrics.hh and docs/metrics.md).
  */
 JsonValue runBenchReport(const BenchReportOptions &opts,
-                         std::ostream *progress = nullptr);
+                         std::ostream *progress = nullptr,
+                         JsonValue *metricsDoc = nullptr);
 
 /**
  * The deterministic projection of a report: a deep copy with every

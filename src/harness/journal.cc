@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/hires_timer.hh"
 #include "common/stats.hh"
 
 namespace tproc::harness
@@ -23,6 +24,7 @@ SweepJournal::append(const SweepResult &r)
 {
     // One record = one line = one flush: the crash model depends on a
     // kill never interleaving or splitting records across lines.
+    auto flush_phase = PhaseTimers::global().scope("journal_flush");
     std::ostringstream line;
     writeResultJsonLine(line, r);
 

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/hires_timer.hh"
 #include "common/logging.hh"
 #include "core/runner.hh"
 #include "replay/replay_source.hh"
@@ -295,6 +296,7 @@ readResultsJson(std::istream &is)
 void
 writeMergedJson(std::ostream &os, std::vector<SweepResult> results)
 {
+    auto merge_phase = PhaseTimers::global().scope("merge");
     std::sort(results.begin(), results.end(),
               [](const SweepResult &a, const SweepResult &b) {
                   return a.point.index < b.point.index;
@@ -375,7 +377,11 @@ SweepEngine::runPoint(const SweepPoint &p)
             cfg = ProcessorConfig::forModel(p.model);
             cfg.verifyRetirement = p.verify;
             cfg.peThreads = p.peThreads;
+            cfg.metricsInterval = p.metricsInterval;
         }
+        RunMetrics run_metrics;
+        RunMetrics *metrics_out =
+            cfg.metricsInterval > 0 ? &run_metrics : nullptr;
         if (!p.traceDir.empty()) {
             // Replay mode: the trace file supplies both the program
             // and the architectural stream; the timing simulation
@@ -389,11 +395,15 @@ SweepEngine::runPoint(const SweepPoint &p)
                     ensured.reader);
             }
             r.stats = runConfig(ensured.reader->program(), cfg,
-                                p.maxInsts, std::move(golden));
+                                p.maxInsts, std::move(golden),
+                                metrics_out);
         } else {
             Workload w = makeWorkload(p.workload, p.seed, p.scale);
-            r.stats = runConfig(w.program, cfg, p.maxInsts);
+            r.stats = runConfig(w.program, cfg, p.maxInsts, nullptr,
+                                metrics_out);
         }
+        if (metrics_out)
+            r.series = std::move(run_metrics.series);
         r.ok = true;
     } catch (const std::exception &e) {
         r.error = e.what();

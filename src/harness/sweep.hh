@@ -64,6 +64,18 @@ struct SweepPoint
     int peThreads = 0;
 
     /**
+     * Windowed-telemetry sampling interval in cycles
+     * (ProcessorConfig::metricsInterval; named models only — an
+     * explicit config carries its own). Like peThreads this is an
+     * execution detail, not part of the point's identity: any value
+     * leaves stats bit-identical (test_metrics- and CI-enforced) and
+     * it is never serialized into journals or artifacts. The sampled
+     * series rides back on SweepResult::series and only leaves the
+     * process through --metrics-json (docs/metrics.md).
+     */
+    uint64_t metricsInterval = 0;
+
+    /**
      * Capture-once/replay-many: when set, the point runs off a
      * recorded trace in this directory (see replay::TraceStore) — the
      * first point to touch a (workload, seed, scale, maxInsts)
@@ -100,6 +112,17 @@ struct SweepResult
     /** Simulation attempts consumed producing this result (>= 1 once
      *  run; retries bump it). */
     unsigned attempts = 0;
+
+    /**
+     * Windowed telemetry sampled during the run (empty/disabled unless
+     * the point asked for it). In-memory transport only: deliberately
+     * NOT part of the result serializations (writeResultObject,
+     * writeResultJsonLine, resultFromJson — the "add to all three"
+     * rule does not apply), so journals, shard artifacts, and merged
+     * artifacts stay byte-identical with metrics on or off. Metrics
+     * leave the process exclusively via the --metrics-json document.
+     */
+    IntervalSeries series;
 };
 
 /** Flatten every ProcessorStats counter into the mergeable dict. */

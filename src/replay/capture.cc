@@ -1,5 +1,6 @@
 #include "replay/capture.hh"
 
+#include "common/hires_timer.hh"
 #include "emulator/emulator.hh"
 #include "workloads/workloads.hh"
 
@@ -18,6 +19,7 @@ CaptureResult
 captureProgramTrace(const Program &prog, const TraceMeta &meta,
                     const std::string &path, bool compress)
 {
+    auto capture_phase = PhaseTimers::global().scope("capture");
     TraceWriter writer(path, meta, prog, compress);
     Emulator emu(prog);
     emu.setStepObserver(

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/hires_timer.hh"
 #include "common/logging.hh"
 #include "replay/capture.hh"
 
@@ -165,6 +166,7 @@ openFor(const std::string &path, const std::string &workload,
     }
     if (!reader) {
         try {
+            auto parse_phase = PhaseTimers::global().scope("parse");
             reader = std::make_shared<const TraceReader>(path);
         } catch (const TraceError &e) {
             if (why)

@@ -13,8 +13,15 @@
  *
  *   tproc-bench --check=BENCH_1.json --out=fresh.json
  *
+ * --metrics-json=FILE additionally emits a tproc-metrics-v1 telemetry
+ * document (interval series for the live pass + phase wall-time
+ * attribution; see docs/metrics.md) and implies --metrics-interval=4096
+ * unless one is given. Telemetry never changes the report's non-timing
+ * fields, so it composes with --check.
+ *
  * Exit status: 0 clean; 1 divergence, identity-gate failure, or a
- * failed simulation point; 2 usage error.
+ * failed simulation point; 2 usage error (bad numbers and unwritable
+ * --metrics-json destinations included — both are checked up front).
  */
 
 #include <fstream>
@@ -25,6 +32,7 @@
 
 #include "common/stats.hh"
 #include "harness/bench_report.hh"
+#include "harness/metrics.hh"
 #include "tools/cli.hh"
 
 using namespace tproc;
@@ -51,6 +59,10 @@ usage(std::ostream &os)
        << "  --baseline-label=STR  label for the baseline block\n"
        << "  --check=FILE          re-run at FILE's config and diff\n"
        << "                        non-timing fields against it\n"
+       << "  --metrics-json=FILE   write a tproc-metrics-v1 telemetry\n"
+       << "                        document (see docs/metrics.md)\n"
+       << "  --metrics-interval=N  sampling interval in cycles (4096\n"
+       << "                        when --metrics-json is given)\n"
        << "  --quiet               suppress progress lines\n";
 }
 
@@ -89,26 +101,51 @@ main(int argc, char **argv)
     std::string baseline_path;
     std::string baseline_label = "previous";
     std::string check_path;
+    std::string metrics_path;
     bool quiet = false;
+
+    // Numeric flags parse strictly: "--insts=abc" is a usage error
+    // (exit 2), not an uncaught std::invalid_argument or a silent zero.
+    auto badNumber = [](const char *flag, const std::string &v) {
+        std::cerr << "tproc-bench: bad " << flag << " '" << v
+                  << "' (want a decimal number)\n\n";
+        usage(std::cerr);
+        return 2;
+    };
 
     for (int i = 1; i < argc; ++i) {
         std::string v;
         if (cli::parseArg(argv[i], "--out", v)) {
             out_path = v;
         } else if (cli::parseArg(argv[i], "--insts", v)) {
-            opts.insts = std::stoull(v);
+            if (!cli::parseU64(v, opts.insts))
+                return badNumber("--insts", v);
         } else if (cli::parseArg(argv[i], "--seed", v)) {
-            opts.seed = std::stoull(v);
+            if (!cli::parseU64(v, opts.seed))
+                return badNumber("--seed", v);
         } else if (cli::parseArg(argv[i], "--model", v)) {
             opts.model = v;
         } else if (cli::parseArg(argv[i], "--pe-threads", v)) {
             opts.peThreadList.clear();
-            for (const auto &t : cli::splitList(v))
-                opts.peThreadList.push_back(std::stoi(t));
+            for (const auto &t : cli::splitList(v)) {
+                int threads;
+                if (!cli::parseInt(t, threads))
+                    return badNumber("--pe-threads", t);
+                opts.peThreadList.push_back(threads);
+            }
         } else if (cli::parseArg(argv[i], "--reps", v)) {
-            opts.reps = std::stoi(v);
+            if (!cli::parseInt(v, opts.reps))
+                return badNumber("--reps", v);
         } else if (cli::parseArg(argv[i], "--index", v)) {
-            opts.benchIndex = static_cast<unsigned>(std::stoul(v));
+            if (!cli::parseU32(v, opts.benchIndex))
+                return badNumber("--index", v);
+        } else if (cli::parseArg(argv[i], "--metrics-json", v)) {
+            metrics_path = v;
+        } else if (cli::parseArg(argv[i], "--metrics-interval", v)) {
+            if (!cli::parseU64(v, opts.metricsInterval) ||
+                opts.metricsInterval == 0) {
+                return badNumber("--metrics-interval", v);
+            }
         } else if (std::string(argv[i]) == "--no-verify") {
             opts.verify = false;
         } else if (cli::parseArg(argv[i], "--trace-dir", v)) {
@@ -133,6 +170,19 @@ main(int argc, char **argv)
         }
     }
 
+    // An unwritable telemetry destination is a usage error up front,
+    // not a lost-results error after a multi-minute bench run.
+    if (!metrics_path.empty()) {
+        if (!cli::checkWritable(metrics_path)) {
+            std::cerr << "tproc-bench: cannot write --metrics-json "
+                         "path '" << metrics_path << "'\n\n";
+            usage(std::cerr);
+            return 2;
+        }
+        if (opts.metricsInterval == 0)
+            opts.metricsInterval = 4096;
+    }
+
     try {
         JsonValue checked_in;
         if (!check_path.empty()) {
@@ -140,14 +190,28 @@ main(int argc, char **argv)
             // model, thread list — so the non-timing fields are
             // comparable bit for bit.
             checked_in = readReportFile(check_path);
+            const uint64_t metrics_interval = opts.metricsInterval;
             opts = harness::optionsFromReport(checked_in);
+            // Sampling is an execution detail, not part of the
+            // checked-in identity: keep what the command line asked
+            // for. The check itself then doubles as a bit-identity
+            // proof that telemetry never perturbs the report.
+            opts.metricsInterval = metrics_interval;
             std::cerr << "tproc-bench: checking against " << check_path
                       << " (insts=" << opts.insts << ", seed="
                       << opts.seed << ", model=" << opts.model << ")\n";
         }
 
+        JsonValue metrics_doc;
         JsonValue report =
-            harness::runBenchReport(opts, quiet ? nullptr : &std::cerr);
+            harness::runBenchReport(opts, quiet ? nullptr : &std::cerr,
+                                    metrics_path.empty() ? nullptr
+                                                         : &metrics_doc);
+
+        if (!metrics_path.empty()) {
+            harness::writeMetricsFile(metrics_path, metrics_doc);
+            std::cerr << "tproc-bench: wrote " << metrics_path << "\n";
+        }
 
         if (!baseline_path.empty()) {
             harness::attachBaseline(report, readReportFile(baseline_path),

@@ -9,7 +9,8 @@
  *               [--seed=S] [--threads=T] [--pe-threads=P] [--shard=I/N]
  *               [--resume=FILE] [--retries=R] [--json=FILE]
  *               [--merged-json=FILE] [--trace-dir=DIR] [--golden=DIR]
- *               [--write-golden=DIR] [--no-verify] [--quiet]
+ *               [--write-golden=DIR] [--metrics-json=FILE]
+ *               [--metrics-interval=N] [--no-verify] [--quiet]
  *
  * Merge usage:
  *   tproc-sweep merge [--out=FILE] shard0.json shard1.json ...
@@ -38,10 +39,18 @@
  * `merge` folds shard artifacts (--json files) into one merged JSON
  * that is bit-identical to --merged-json of a serial unsharded run.
  *
+ * --metrics-json=FILE writes a tproc-metrics-v1 telemetry document
+ * (per-point interval series + phase wall-time attribution — see
+ * docs/metrics.md) and implies --metrics-interval=4096 unless one is
+ * given. Sampling is a pure observer: stats, artifacts, journals, and
+ * golden comparisons are bit-identical with it on or off.
+ *
  * Defaults: all eight workloads, models base + FG+MLB-RET, 400000
  * instructions, seed 1, hardware-concurrency threads, 1 retry,
  * progress on. Exit status is the number of ultimately-failed points
- * (capped at 125); 126 flags a usage or artifact error.
+ * (capped at 125); 126 flags a usage or artifact error, except an
+ * unwritable --metrics-json destination which exits 2 (checked up
+ * front, matching tproc-bench's usage convention — see docs/cli.md).
  */
 
 #include <algorithm>
@@ -55,10 +64,12 @@
 
 #include <filesystem>
 
+#include "common/hires_timer.hh"
 #include "common/stats.hh"
 #include "core/runner.hh"
 #include "harness/golden.hh"
 #include "harness/journal.hh"
+#include "harness/metrics.hh"
 #include "harness/sweep.hh"
 #include "tools/cli.hh"
 #include "workloads/workloads.hh"
@@ -80,7 +91,9 @@ usage(std::ostream &os)
           "                   [--retries=R]\n"
           "                   [--json=FILE] [--merged-json=FILE]\n"
           "                   [--trace-dir=DIR] [--golden=DIR]\n"
-          "                   [--write-golden=DIR] [--no-verify] "
+          "                   [--write-golden=DIR] "
+          "[--metrics-json=FILE]\n"
+          "                   [--metrics-interval=N] [--no-verify] "
           "[--quiet]\n"
           "       tproc-sweep merge [--out=FILE] a.json b.json ...\n";
 }
@@ -247,6 +260,15 @@ main(int argc, char **argv)
     std::string trace_dir;
     std::string golden_dir;
     std::string write_golden_dir;
+    std::string metrics_path;
+    uint64_t metrics_interval = 0;
+
+    auto badNumber = [](const char *flag, const std::string &v) {
+        std::cerr << "tproc-sweep: bad " << flag << " '" << v
+                  << "' (want a decimal number)\n";
+        usage(std::cerr);
+        return 126;
+    };
 
     for (int i = 1; i < argc; ++i) {
         std::string v;
@@ -255,18 +277,27 @@ main(int argc, char **argv)
         } else if (parseArg(argv[i], "--models", v)) {
             models = splitList(v);
         } else if (parseArg(argv[i], "--insts", v)) {
-            insts = std::strtoull(v.c_str(), nullptr, 10);
+            if (!cli::parseU64(v, insts))
+                return badNumber("--insts", v);
         } else if (parseArg(argv[i], "--seed", v)) {
-            seed = std::strtoull(v.c_str(), nullptr, 10);
+            if (!cli::parseU64(v, seed))
+                return badNumber("--seed", v);
         } else if (parseArg(argv[i], "--threads", v)) {
-            threads = static_cast<unsigned>(std::strtoul(v.c_str(),
-                                                         nullptr, 10));
+            if (!cli::parseU32(v, threads))
+                return badNumber("--threads", v);
         } else if (parseArg(argv[i], "--pe-threads", v)) {
-            pe_threads = static_cast<unsigned>(std::strtoul(v.c_str(),
-                                                            nullptr, 10));
+            if (!cli::parseU32(v, pe_threads))
+                return badNumber("--pe-threads", v);
         } else if (parseArg(argv[i], "--retries", v)) {
-            retries = static_cast<unsigned>(std::strtoul(v.c_str(),
-                                                         nullptr, 10));
+            if (!cli::parseU32(v, retries))
+                return badNumber("--retries", v);
+        } else if (parseArg(argv[i], "--metrics-json", v)) {
+            metrics_path = v;
+        } else if (parseArg(argv[i], "--metrics-interval", v)) {
+            if (!cli::parseU64(v, metrics_interval) ||
+                metrics_interval == 0) {
+                return badNumber("--metrics-interval", v);
+            }
         } else if (parseArg(argv[i], "--shard", v)) {
             if (!parseShard(v, shard, shard_count)) {
                 std::cerr << "tproc-sweep: bad --shard '" << v
@@ -301,6 +332,22 @@ main(int argc, char **argv)
         }
     }
 
+    // An unwritable telemetry destination is a usage error up front
+    // (exit 2, the metrics-emitting convention shared with tproc-bench
+    // — docs/cli.md), not a lost-results fopen error after the sweep.
+    if (!metrics_path.empty()) {
+        if (!cli::checkWritable(metrics_path)) {
+            std::cerr << "tproc-sweep: cannot write --metrics-json path '"
+                      << metrics_path << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+        if (metrics_interval == 0)
+            metrics_interval = 4096;
+    }
+    const std::vector<PhaseStat> phases_before =
+        PhaseTimers::global().snapshot();
+
     auto grid =
         harness::crossPoints(workloads, models, seed, insts, verify);
     // Replay mode and intra-PE parallelism are per-point execution
@@ -313,6 +360,10 @@ main(int argc, char **argv)
     if (pe_threads) {
         for (auto &p : grid)
             p.peThreads = static_cast<int>(pe_threads);
+    }
+    if (metrics_interval) {
+        for (auto &p : grid)
+            p.metricsInterval = metrics_interval;
     }
     auto points =
         shard_count ? harness::shardPoints(grid, shard, shard_count)
@@ -516,6 +567,21 @@ main(int argc, char **argv)
         harness::writeMergedJson(out, results);
         if (!quiet)
             std::cerr << "wrote " << merged_path << '\n';
+    }
+    if (!metrics_path.empty()) {
+        try {
+            harness::writeMetricsFile(
+                metrics_path,
+                harness::buildMetricsDoc(
+                    metrics_interval, results,
+                    PhaseTimers::diff(PhaseTimers::global().snapshot(),
+                                      phases_before)));
+        } catch (const std::exception &e) {
+            std::cerr << "tproc-sweep: " << e.what() << '\n';
+            return 126;
+        }
+        if (!quiet)
+            std::cerr << "wrote " << metrics_path << '\n';
     }
 
     const int bad = failed + drifted;

@@ -75,11 +75,29 @@ recordMain(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--all") == 0) {
             all = true;
         } else if (parseArg(argv[i], "--seed", v)) {
-            seed = std::strtoull(v.c_str(), nullptr, 10);
+            if (!cli::parseU64(v, seed)) {
+                std::cerr << "tproc-trace record: bad --seed '" << v
+                          << "' (want a decimal number)\n";
+                usage(std::cerr);
+                return 126;
+            }
         } else if (parseArg(argv[i], "--scale", v)) {
-            scale = std::strtod(v.c_str(), nullptr);
+            char *end = nullptr;
+            scale = std::strtod(v.c_str(), &end);
+            if (v.empty() || end != v.c_str() + v.size() ||
+                scale <= 0.0) {
+                std::cerr << "tproc-trace record: bad --scale '" << v
+                          << "' (want a positive number)\n";
+                usage(std::cerr);
+                return 126;
+            }
         } else if (parseArg(argv[i], "--insts", v)) {
-            insts = std::strtoull(v.c_str(), nullptr, 10);
+            if (!cli::parseU64(v, insts)) {
+                std::cerr << "tproc-trace record: bad --insts '" << v
+                          << "' (want a decimal number)\n";
+                usage(std::cerr);
+                return 126;
+            }
         } else if (std::strcmp(argv[i], "--no-compress") == 0) {
             compress = false;
         } else if (parseArg(argv[i], "--out", v)) {
