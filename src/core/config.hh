@@ -76,6 +76,12 @@ struct ProcessorConfig
     uint64_t watchdogCycles = 200000;   //!< panic if retirement stalls
     bool verifyRetirement = true;       //!< golden-model check at retire
 
+    /** Workload/seed identity stamped onto watchdog errors so harness
+     *  fault isolation can attribute a stalled point without parsing
+     *  (observability only — never affects the simulation and is not
+     *  serialized anywhere). Processor::setIdentity overrides it. */
+    std::string identity;
+
     /**
      * Intra-simulation parallelism: executors for the per-PE compute
      * phases (completion scan, local issue/execute), stepped by a

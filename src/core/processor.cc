@@ -71,6 +71,7 @@ Processor::Processor(const Program &prog_, const ProcessorConfig &cfg_,
       retireMap(PhysRegFile::initialMap()),
       dispatchExpectedPc(prog_.entry)
 {
+    identity = cfg.identity;
     mem.load(prog.dataInit);
     if (cfg.verifyRetirement) {
         golden = golden_source ? std::move(golden_source)
@@ -193,10 +194,18 @@ Processor::stepPhases()
     ++curCycle;
     ++stats.cycles;
 
-    panic_if(curCycle - lastRetireCycle > cfg.watchdogCycles,
+    if (curCycle - lastRetireCycle > cfg.watchdogCycles)
+        raiseWatchdog();
+}
+
+void
+Processor::raiseWatchdog()
+{
+    char buf[512];
+    snprintf(buf, sizeof(buf),
              "watchdog: no retirement for %llu cycles (window=%zu, "
              "events=%zu, insert=%d, queue=%zu, halt=%d, waitInd=%d, "
-             "fetchPc=%lld, expected=%lld, dispBusy=%lld, now=%llu)",
+             "fetchPc=%lld, expected=%lld, dispBusy=%lld, now=%llu%s%s)",
              static_cast<unsigned long long>(cfg.watchdogCycles),
              window.size(), events.size(), insertMode.active ? 1 : 0,
              frontend.queueSize(), frontend.haltSeenByFetch() ? 1 : 0,
@@ -204,7 +213,16 @@ Processor::stepPhases()
              static_cast<long long>(frontend.fetchPc()),
              static_cast<long long>(dispatchExpectedPc),
              static_cast<long long>(dispatchBusyUntil),
-             static_cast<unsigned long long>(curCycle));
+             static_cast<unsigned long long>(curCycle),
+             identity.empty() ? "" : ", ", identity.c_str());
+    // Under fault capture, throw the structured form so harnesses can
+    // record the point and trigger capture-on-failure; otherwise keep
+    // the historical abort-with-message behaviour.
+    if (ScopedErrorCapture::active()) {
+        throw WatchdogError(buf, curCycle, curCycle - lastRetireCycle,
+                            window.size(), identity);
+    }
+    panic("%s", buf);
 }
 
 const ProcessorStats &
@@ -1297,6 +1315,17 @@ Processor::phaseRetire()
             return;
         if (d.isCondBr && d.resolvedTaken != d.predTaken)
             return;     // a misprediction event is pending
+    }
+    // The head trace may not retire while any of its live-out broadcasts
+    // is still queued on the (possibly starved) global result buses:
+    // releasing the PE would drop the request, and the destination
+    // physical register would never become ready for consumers in later
+    // traces — the starved-bus deadlock. The queue is FIFO and its front
+    // entry is granted or discarded every cycle, so this wait is bounded
+    // by the backlog depth, never the watchdog.
+    for (const auto &req : busQueue) {
+        if (req.uid == t.uid)
+            return;
     }
     // Any live event against the head trace blocks retirement.
     for (const auto &ev : events) {

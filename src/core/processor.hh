@@ -35,6 +35,7 @@
 
 #include "arb/arb.hh"
 #include "cache/dcache.hh"
+#include "common/logging.hh"
 #include "common/timeseries.hh"
 #include "core/config.hh"
 #include "emulator/emulator.hh"
@@ -49,6 +50,30 @@ namespace harness
 {
 class CyclePool;
 } // namespace harness
+
+/**
+ * What the retirement watchdog raises when no trace has retired for
+ * cfg.watchdogCycles. Under a ScopedErrorCapture it is thrown as-is, so
+ * harnesses (sweep fault isolation, the soak campaign) get the machine
+ * state as structured fields rather than a formatted string to regex:
+ * the firing cycle, the stall length, the window occupancy, and the
+ * workload/seed identity the harness stamped via Processor::setIdentity.
+ * Outside a capture it degrades to the usual panic/abort.
+ */
+struct WatchdogError : SimError
+{
+    WatchdogError(const std::string &msg, uint64_t cycle_,
+                  uint64_t stalled_cycles, size_t window_size,
+                  std::string identity_)
+        : SimError(msg), cycle(cycle_), stalledCycles(stalled_cycles),
+          windowSize(window_size), identity(std::move(identity_))
+    {}
+
+    uint64_t cycle;         //!< cycle at which the watchdog fired
+    uint64_t stalledCycles; //!< cycles since the last retirement
+    size_t windowSize;      //!< traces resident when it fired
+    std::string identity;   //!< workload/seed identity ("" if unset)
+};
 
 /** Aggregate statistics for one simulation. */
 struct ProcessorStats
@@ -149,6 +174,10 @@ class Processor
 
     /** Window occupancy (diagnostics / tests). */
     size_t windowSize() const { return window.size(); }
+
+    /** Stamp a workload/seed identity onto watchdog errors (harness
+     *  use; has no effect on the simulation itself). */
+    void setIdentity(std::string id) { identity = std::move(id); }
 
     /** Check internal invariants (tests call this liberally). */
     void checkInvariants() const;
@@ -370,12 +399,16 @@ class Processor
     std::unique_ptr<MetricsState> metrics;
     /** Advance the cycle-loop phases (the pre-telemetry step body). */
     void stepPhases();
+    /** Throw (capture active) or panic with the watchdog diagnosis. */
+    [[noreturn]] void raiseWatchdog();
     /** Per-cycle accumulation + interval-boundary sampling. */
     void tickMetrics();
     /** Emit one interval sample and reset the interval accumulators. */
     void sampleMetrics();
 
     InsertMode insertMode;
+
+    std::string identity;   //!< harness-stamped label for watchdog errors
 
     Cycle curCycle = 0;
     Cycle dispatchBusyUntil = 0;

@@ -379,6 +379,11 @@ SweepEngine::runPoint(const SweepPoint &p)
             cfg.peThreads = p.peThreads;
             cfg.metricsInterval = p.metricsInterval;
         }
+        // Watchdog errors carry the point identity so a stalled point
+        // is attributable straight from the structured error.
+        cfg.identity = "workload=" + p.workload +
+            " seed=" + std::to_string(p.seed) +
+            " model=" + (p.useConfig ? p.label() : p.model);
         RunMetrics run_metrics;
         RunMetrics *metrics_out =
             cfg.metricsInterval > 0 ? &run_metrics : nullptr;

@@ -1,22 +1,18 @@
 #include "workloads/workloads.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
+#include "workloads/generator.hh"
 #include "workloads/patterns.hh"
 
 namespace tproc
 {
 
-namespace
-{
-
-constexpr Addr dataBase = 1 << 20;  //!< data segment start (word addr)
-
-using PC = PatternContext;
-
-/** Emit the standard outer-loop prologue; returns the loop-top label. */
 ProgramBuilder::Label
-prologue(ProgramBuilder &b, int64_t iters)
+workloadPrologue(ProgramBuilder &b, int64_t iters)
 {
+    using PC = PatternContext;
     b.li(PC::idx, 0);
     b.li(PC::acc, 0);
     for (int i = 0; i < PC::outCount; ++i)
@@ -28,19 +24,29 @@ prologue(ProgramBuilder &b, int64_t iters)
     return top;
 }
 
-/** Emit the outer-loop epilogue: countdown, backward branch, halt. */
 void
-epilogue(ProgramBuilder &b, ProgramBuilder::Label top)
+workloadEpilogue(ProgramBuilder &b, ProgramBuilder::Label top)
 {
+    using PC = PatternContext;
     b.addi(PC::cnt, PC::cnt, -1);
     b.bne(PC::cnt, regZero, top);
     // Fold the outputs so nothing is trivially dead, then publish.
     for (int i = 0; i < PC::outCount; ++i)
         b.add(PC::acc, PC::acc, PC::out(i));
-    b.lui(PC::addr, dataBase - 1);
+    b.lui(PC::addr, workloadDataBase - 1);
     b.st(PC::acc, PC::addr, 0);
     b.halt();
 }
+
+namespace
+{
+
+constexpr Addr dataBase = workloadDataBase;
+
+using PC = PatternContext;
+
+constexpr auto prologue = workloadPrologue;
+constexpr auto epilogue = workloadEpilogue;
 
 /**
  * compress analog. Table 5 targets: FGCI branches ~41% of branches and
@@ -355,6 +361,8 @@ workloadNames()
 Workload
 makeWorkload(const std::string &name, uint64_t seed, double scale)
 {
+    if (isGeneratedName(name))
+        return makeGeneratedWorkload(name, seed, scale);
     if (name == "compress")
         return makeCompress(seed, scale);
     if (name == "gcc")
@@ -371,7 +379,14 @@ makeWorkload(const std::string &name, uint64_t seed, double scale)
         return makePerl(seed, scale);
     if (name == "vortex")
         return makeVortex(seed, scale);
-    fatal("unknown workload '%s'", name.c_str());
+    std::ostringstream os;
+    os << "unknown workload '" << name << "'; valid names:";
+    for (const auto &n : workloadNames())
+        os << " " << n;
+    os << ", or gen:<pattern-mix>:<index> with patterns:";
+    for (const auto &n : generatorPatternNames())
+        os << " " << n;
+    throw UnknownWorkloadError(os.str());
 }
 
 std::vector<Workload>

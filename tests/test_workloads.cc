@@ -34,9 +34,20 @@ TEST(Workloads, DeterministicPerSeed)
     EXPECT_NE(a.program.dataInit, c.program.dataInit);
 }
 
-TEST(Workloads, UnknownNameFatals)
+TEST(Workloads, UnknownNameThrowsListingTheMenu)
 {
-    EXPECT_DEATH(makeWorkload("nonesuch"), "unknown workload");
+    // Library code must not kill the process: CLIs catch this, print
+    // the menu, and exit 2 (docs/cli.md).
+    try {
+        (void)makeWorkload("nonesuch");
+        FAIL() << "expected UnknownWorkloadError";
+    } catch (const UnknownWorkloadError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown workload"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("nonesuch"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("compress"), std::string::npos) << msg;
+    }
 }
 
 /**
