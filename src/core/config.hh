@@ -11,6 +11,8 @@
 #include <string>
 #include <string_view>
 
+#include "common/logging.hh"
+
 #include "cache/dcache.hh"
 #include "cache/icache.hh"
 #include "tcache/trace_cache.hh"
@@ -30,6 +32,27 @@ enum class CgciHeuristic : uint8_t
 };
 
 const char *cgciHeuristicName(CgciHeuristic h);
+
+/**
+ * Thrown by ProcessorConfig::validate() on a degenerate machine shape.
+ * Carries the offending knob's field name as a structured member so
+ * harnesses (and the config-space explorer's sampler tests) can
+ * attribute a rejection without parsing the message — the same
+ * convention as UnknownWorkloadError and WatchdogError. Thrown
+ * directly (not via panic), so it propagates whether or not a
+ * ScopedErrorCapture is active: a bad shape is always a reportable
+ * error, never an abort.
+ */
+struct ConfigError : SimError
+{
+    ConfigError(std::string knob_, const std::string &msg)
+        : SimError(msg), knob(std::move(knob_))
+    {}
+
+    /** Field name of the rejected knob, e.g. "numPEs" or
+     *  "tpred.pathEntries". */
+    std::string knob;
+};
 
 /** Complete processor configuration. Defaults reproduce Table 1. */
 struct ProcessorConfig
@@ -117,6 +140,23 @@ struct ProcessorConfig
      *   "RET", "MLB-RET", "FG", "FG+MLB-RET" (Section 6.2).
      */
     static ProcessorConfig forModel(std::string_view model);
+
+    /**
+     * Reject degenerate shapes up front with a ConfigError naming the
+     * bad knob, instead of letting them fail deep inside a structure
+     * constructor or — worse — silently misbehave (a zero-entry
+     * TracePredictor used to pass its power-of-two check and index an
+     * empty table). Checks every structural knob: positive PE/bus/
+     * issue counts, nonzero power-of-two set counts for every cache
+     * and predictor table (replicating the constructors' set-count
+     * formulas), enough physical registers for the worst-case in-
+     * flight window, and live watchdog/timeout bounds.
+     *
+     * The Processor constructor calls this, so no simulation starts
+     * on an invalid shape; the explorer's sampler is tested to stay
+     * inside this envelope.
+     */
+    void validate() const;
 };
 
 } // namespace tproc

@@ -62,9 +62,24 @@ struct Processor::MetricsState
     double cycleSeconds = 0.0;
 };
 
+namespace
+{
+
+/** Reject degenerate shapes before any structure constructor runs, so
+ *  a bad config is a structured ConfigError naming the knob, never a
+ *  panic_if deep inside SetAssocCache (or silent misbehaviour). */
+const ProcessorConfig &
+validated(const ProcessorConfig &cfg)
+{
+    cfg.validate();
+    return cfg;
+}
+
+} // anonymous namespace
+
 Processor::Processor(const Program &prog_, const ProcessorConfig &cfg_,
                      std::unique_ptr<ArchSource> golden_source)
-    : prog(prog_), cfg(cfg_), frontend(prog_, cfg),
+    : prog(prog_), cfg(validated(cfg_)), frontend(prog_, cfg),
       dcache(cfg.dcache),
       arb([this](TraceUid uid) { return orderOf(uid); }),
       prf(cfg.physRegs), map(PhysRegFile::initialMap()),
@@ -233,6 +248,14 @@ Processor::run(uint64_t max_insts, uint64_t max_cycles)
         step();
     }
 
+    // Flush the final partial interval as an exact sample scaled by the
+    // cycles it actually covers — otherwise up to interval-1 cycles of
+    // end-of-run behaviour (exactly where halt-adjacent cliffs live)
+    // would be silently dropped. Only the last sample of a run may
+    // cover less than a full interval (docs/metrics.md).
+    if (metrics && metrics->countdown < cfg.metricsInterval)
+        sampleMetrics(cfg.metricsInterval - metrics->countdown);
+
     // Fold in component statistics.
     stats.tcLookups = frontend.traceCache().lookups;
     stats.tcMisses = frontend.traceCache().misses;
@@ -296,14 +319,14 @@ Processor::tickMetrics()
     m.occupancySum += static_cast<double>(window.size());
     m.busBacklogSum += static_cast<double>(busQueue.size());
     if (--m.countdown == 0)
-        sampleMetrics();
+        sampleMetrics(cfg.metricsInterval);
 }
 
 void
-Processor::sampleMetrics()
+Processor::sampleMetrics(uint64_t elapsed)
 {
     MetricsState &m = *metrics;
-    const double interval = static_cast<double>(cfg.metricsInterval);
+    const double interval = static_cast<double>(elapsed);
     const uint64_t insts = stats.retiredInsts - m.lastRetired;
     const uint64_t misp = stats.mispEvents - m.lastMisp;
     const uint64_t tc_lookups =

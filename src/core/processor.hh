@@ -403,8 +403,10 @@ class Processor
     [[noreturn]] void raiseWatchdog();
     /** Per-cycle accumulation + interval-boundary sampling. */
     void tickMetrics();
-    /** Emit one interval sample and reset the interval accumulators. */
-    void sampleMetrics();
+    /** Emit one sample covering the @p elapsed cycles since the last
+     *  sample (cfg.metricsInterval at a countdown boundary, less for
+     *  the end-of-run partial flush) and reset the accumulators. */
+    void sampleMetrics(uint64_t elapsed);
 
     InsertMode insertMode;
 

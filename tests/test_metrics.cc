@@ -269,19 +269,31 @@ TEST(ProcessorMetrics, IntervalBoundariesAreExact)
     ASSERT_TRUE(m.series.enabled());
     ASSERT_FALSE(m.series.empty());
     EXPECT_EQ(m.series.channels(), Processor::metricsChannels());
-    // Samples land exactly at multiples of the interval — the recorder
-    // fires on a countdown, never drifting — and every retained cycle
-    // is within the run.
+    // Every sample but the last lands exactly at a multiple of the
+    // interval — the recorder fires on a countdown, never drifting.
+    // The last sample is either a boundary too or the end-of-run
+    // partial flush at the run's final cycle (docs/metrics.md).
     for (size_t i = 0; i < m.series.size(); ++i) {
         const auto &sample = m.series.at(i);
-        EXPECT_EQ(sample.cycle % 1000, 0u) << "sample " << i;
+        if (i + 1 < m.series.size()) {
+            EXPECT_EQ(sample.cycle % 1000, 0u) << "sample " << i;
+        }
         EXPECT_LE(sample.cycle, stats.cycles);
         ASSERT_EQ(sample.values.size(),
                   Processor::metricsChannels().size());
     }
-    // Full run at interval 1000 over <= 20k insts: nothing dropped.
+    const auto &last = m.series.at(m.series.size() - 1);
+    if (stats.cycles % 1000 != 0) {
+        // Partial tail: flushed exactly at halt, nothing dropped.
+        EXPECT_EQ(last.cycle, stats.cycles);
+    } else {
+        EXPECT_EQ(last.cycle % 1000, 0u);
+    }
+    // Full run at interval 1000 over <= 20k insts: nothing dropped,
+    // one sample per boundary plus the partial tail if there is one.
     EXPECT_EQ(m.series.dropped(), 0u);
-    EXPECT_EQ(m.series.recorded(), stats.cycles / 1000);
+    EXPECT_EQ(m.series.recorded(),
+              stats.cycles / 1000 + (stats.cycles % 1000 ? 1 : 0));
 }
 
 TEST(ProcessorMetrics, SampledIpcIsConsistentWithTotals)
@@ -289,15 +301,23 @@ TEST(ProcessorMetrics, SampledIpcIsConsistentWithTotals)
     RunMetrics m;
     ProcessorStats stats = runSampled(1000, &m);
     ASSERT_EQ(m.series.dropped(), 0u);
-    // Sum of per-interval retirements (ipc * interval) can never
-    // exceed the run's total, and with no drops must cover every full
-    // interval's worth of it.
+    // With the end-of-run partial flush, the samples tile the whole
+    // run: per-sample retirements (ipc * cycles covered) must sum to
+    // exactly the run's total, to rounding.
     double sampled_insts = 0.0;
-    for (size_t i = 0; i < m.series.size(); ++i)
-        sampled_insts += m.series.at(i).values[0] * 1000.0;
-    EXPECT_LE(sampled_insts,
-              static_cast<double>(stats.retiredInsts) + 0.5);
-    EXPECT_GT(sampled_insts, 0.0);
+    uint64_t prev_cycle = 0;
+    for (size_t i = 0; i < m.series.size(); ++i) {
+        const auto &sample = m.series.at(i);
+        const uint64_t covered = sample.cycle - prev_cycle;
+        EXPECT_GT(covered, 0u) << "sample " << i;
+        EXPECT_LE(covered, 1000u) << "sample " << i;
+        sampled_insts +=
+            sample.values[0] * static_cast<double>(covered);
+        prev_cycle = sample.cycle;
+    }
+    EXPECT_EQ(prev_cycle, stats.cycles);
+    EXPECT_NEAR(sampled_insts, static_cast<double>(stats.retiredInsts),
+                0.5);
 }
 
 TEST(ProcessorMetrics, StatsBitIdenticalWithMetricsOnOrOff)

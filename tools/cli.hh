@@ -94,6 +94,39 @@ parseInt(const std::string &v, int &out)
 }
 
 /**
+ * Parse "--shard=I/N" strictly: both components pure decimal and in
+ * 32-bit range (a 2^32-overflowing count used to truncate through
+ * strtoul and silently run the wrong shard), N >= 1, and 0 <= I < N.
+ * Degenerate shard specs are usage errors reported by the caller,
+ * never downstream asserts or silently-empty slices.
+ */
+inline bool
+parseShard(const std::string &v, unsigned &shard, unsigned &count)
+{
+    const size_t slash = v.find('/');
+    if (slash == std::string::npos || slash == 0 || slash + 1 >= v.size())
+        return false;
+    unsigned i = 0, n = 0;
+    if (!parseU32(v.substr(0, slash), i) ||
+        !parseU32(v.substr(slash + 1), n)) {
+        return false;
+    }
+    if (n == 0 || i >= n)
+        return false;
+    shard = i;
+    count = n;
+    return true;
+}
+
+/**
+ * Bound for count-valued flags that allocate proportionally
+ * (--generate, --shapes): large enough for any real campaign, small
+ * enough that a typo'd count is a usage error instead of an
+ * out-of-memory kill while building the point grid.
+ */
+constexpr uint64_t maxCountFlag = 1000000;
+
+/**
  * Probe that `path` can be created/written, without truncating an
  * existing file. Output-file flags (e.g. --metrics-json) call this at
  * argument-parse time so an unwritable destination is a usage error up

@@ -135,29 +135,6 @@ usage(std::ostream &os)
           "       tproc-sweep merge [--out=FILE] a.json b.json ...\n";
 }
 
-bool
-parseShard(const std::string &v, unsigned &shard, unsigned &count)
-{
-    // Both components must be pure decimal: a typo like --shard=x/3
-    // must not silently run shard 0.
-    size_t slash = v.find('/');
-    if (slash == std::string::npos || slash == 0 ||
-        slash + 1 >= v.size()) {
-        return false;
-    }
-    const std::string i_str = v.substr(0, slash);
-    const std::string n_str = v.substr(slash + 1);
-    if (i_str.find_first_not_of("0123456789") != std::string::npos ||
-        n_str.find_first_not_of("0123456789") != std::string::npos) {
-        return false;
-    }
-    shard = static_cast<unsigned>(std::strtoul(i_str.c_str(), nullptr,
-                                               10));
-    count = static_cast<unsigned>(std::strtoul(n_str.c_str(), nullptr,
-                                               10));
-    return count > 0 && shard < count;
-}
-
 /** Failed-point recap so CI logs show what broke without scrollback. */
 int
 printFailureSummary(const std::vector<harness::SweepResult> &results)
@@ -346,9 +323,10 @@ main(int argc, char **argv)
                 return badNumber("--metrics-interval", v);
             }
         } else if (parseArg(argv[i], "--shard", v)) {
-            if (!parseShard(v, shard, shard_count)) {
+            if (!cli::parseShard(v, shard, shard_count)) {
                 std::cerr << "tproc-sweep: bad --shard '" << v
-                          << "' (want I/N with 0 <= I < N)\n";
+                          << "' (want decimal I/N with 0 <= I < N)\n";
+                usage(std::cerr);
                 return 126;
             }
         } else if (parseArg(argv[i], "--resume", v)) {
@@ -366,6 +344,14 @@ main(int argc, char **argv)
         } else if (parseArg(argv[i], "--generate", v)) {
             if (!cli::parseU64(v, generate) || generate == 0)
                 return badNumber("--generate", v);
+            if (generate > cli::maxCountFlag) {
+                std::cerr << "tproc-sweep: --generate=" << generate
+                          << " exceeds the grid bound "
+                          << cli::maxCountFlag
+                          << " (shard a large campaign instead)\n";
+                usage(std::cerr);
+                return 126;
+            }
         } else if (parseArg(argv[i], "--gen-seed", v)) {
             if (!cli::parseU64(v, gen_seed))
                 return badNumber("--gen-seed", v);
