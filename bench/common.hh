@@ -21,11 +21,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/parse.hh"
 #include "common/stats.hh"
 #include "core/runner.hh"
 #include "harness/sweep.hh"
@@ -82,18 +84,32 @@ struct BenchOptions
     fromEnv()
     {
         BenchOptions o;
+        // Malformed env values warn and keep the default: these are
+        // fallback knobs, and a typo'd one must never be a silent zero.
         auto u64 = [](const char *name, uint64_t &into) {
-            if (const char *e = std::getenv(name))
-                into = std::strtoull(e, nullptr, 10);
+            if (!tproc::parseEnvU64(name, into))
+                std::cerr << "warning: ignoring malformed " << name
+                          << "\n";
         };
-        auto u32 = [](const char *name, unsigned &into) {
-            if (const char *e = std::getenv(name))
-                into = static_cast<unsigned>(std::strtoul(e, nullptr, 10));
+        auto u32 = [&u64](const char *name, unsigned &into) {
+            uint64_t x = into;
+            u64(name, x);
+            if (x > 0xffffffffULL)
+                std::cerr << "warning: ignoring out-of-range " << name
+                          << "\n";
+            else
+                into = static_cast<unsigned>(x);
         };
         u64("TPROC_BENCH_INSTS", o.insts);
         u64("TPROC_BENCH_SEED", o.seed);
-        if (const char *e = std::getenv("TPROC_BENCH_VERIFY"))
-            o.verify = std::atoi(e) != 0;
+        if (const char *e = std::getenv("TPROC_BENCH_VERIFY")) {
+            uint64_t b;
+            if (tproc::parseU64(e, b))
+                o.verify = b != 0;
+            else
+                std::cerr << "warning: ignoring malformed "
+                             "TPROC_BENCH_VERIFY\n";
+        }
         u32("TPROC_BENCH_THREADS", o.threads);
         u32("TPROC_BENCH_PE_THREADS", o.peThreads);
         u32("TPROC_SWEEP_RETRIES", o.retries);
@@ -128,14 +144,15 @@ applyBenchArg(BenchOptions &opts, const char *arg,
         return nullptr;
     };
     auto parseUnsigned = [&](const char *v, auto &into) {
-        char *end = nullptr;
-        unsigned long long n = std::strtoull(v, &end, 10);
-        if (end == v || *end) {
+        using Into = std::decay_t<decltype(into)>;
+        uint64_t n;
+        if (!tproc::parseU64(v, n) ||
+            n > std::numeric_limits<Into>::max()) {
             if (error)
                 *error = std::string("malformed number in '") + arg + "'";
             return true;    // recognized, but bad
         }
-        into = static_cast<std::decay_t<decltype(into)>>(n);
+        into = static_cast<Into>(n);
         return true;
     };
     if (const char *v = value("--insts"))
@@ -151,7 +168,13 @@ applyBenchArg(BenchOptions &opts, const char *arg,
     if (const char *v = value("--repeat"))
         return parseUnsigned(v, opts.repeat);
     if (const char *v = value("--verify")) {
-        opts.verify = std::atoi(v) != 0;
+        uint64_t b;
+        if (!tproc::parseU64(v, b)) {
+            if (error)
+                *error = std::string("malformed number in '") + arg + "'";
+            return true;    // recognized, but bad
+        }
+        opts.verify = b != 0;
         return true;
     }
     if (std::strcmp(arg, "--no-verify") == 0) {

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <utility>
+
+#include "common/parse.hh"
 
 namespace
 {
@@ -11,9 +12,13 @@ namespace
 uint64_t
 watchAddr()
 {
+    // Watch nothing (~0) when unset; a malformed address is ignored
+    // rather than silently watching address 0.
     static uint64_t a = [] {
-        const char *e = getenv("TPROC_WATCH_ADDR");
-        return e ? strtoull(e, nullptr, 10) : ~0ull;
+        uint64_t addr = ~0ull;
+        if (!tproc::parseEnvU64("TPROC_WATCH_ADDR", addr))
+            fprintf(stderr, "warning: malformed TPROC_WATCH_ADDR\n");
+        return addr;
     }();
     return a;
 }

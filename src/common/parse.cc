@@ -1,0 +1,21 @@
+#include "common/parse.hh"
+
+#include <cstdlib>
+
+namespace tproc
+{
+
+bool
+parseEnvU64(const char *name, uint64_t &out)
+{
+    const char *e = std::getenv(name);
+    if (!e)
+        return true;
+    uint64_t x;
+    if (!parseU64(e, x))
+        return false;
+    out = x;
+    return true;
+}
+
+} // namespace tproc

@@ -82,8 +82,14 @@ ProcessorConfig::forModel(std::string_view model)
         cfg.fgci = true;
         cfg.cgci = CgciHeuristic::MLB_RET;
     } else {
-        fatal("unknown processor model '%.*s'",
-              static_cast<int>(model.size()), model.data());
+        // Structured so CLIs can catch it for a usage message; an
+        // unknown model name is operator input, not a simulator bug.
+        // The menu rides in the message, matching the
+        // UnknownWorkloadError convention.
+        throw ConfigError(
+            "model", "unknown processor model '" + std::string(model) +
+                         "' (known: base, base(ntb), base(fg), "
+                         "base(fg,ntb), RET, MLB-RET, FG, FG+MLB-RET)");
     }
     cfg.bit.maxTraceLen = cfg.selection.maxTraceLen;
     return cfg;

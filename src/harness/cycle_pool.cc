@@ -141,7 +141,7 @@ CyclePool::rethrowFunneled(std::exception_ptr e)
         // default (message + abort) rather than escaping as an
         // uncaught exception from deep inside the cycle loop.
         std::fprintf(stderr, "%s\n", err.what());
-        std::abort();
+        std::abort();  // NOLINT-tproc(no-bare-panic)
     }
     // Non-SimError exceptions propagate from the catch block above.
 }

@@ -1,0 +1,277 @@
+#include "lint/lexer.hh"
+
+#include <cctype>
+
+namespace tproc::lint
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Cursor over the content buffer that maintains 1-based line/column
+ * as it advances. The column counts bytes, which is also what the
+ * line-length rule measures.
+ */
+struct Cursor
+{
+    const std::string &s;
+    size_t pos = 0;
+    int line = 1;
+    int col = 1;
+
+    bool done() const { return pos >= s.size(); }
+    char peek(size_t ahead = 0) const
+    {
+        return pos + ahead < s.size() ? s[pos + ahead] : '\0';
+    }
+
+    void
+    advance()
+    {
+        if (s[pos] == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        ++pos;
+    }
+};
+
+/** True when the token text ends a raw-string literal opened with the
+ *  given )delim" terminator. */
+size_t
+findRawEnd(const std::string &s, size_t start, const std::string &delim)
+{
+    const std::string close = ")" + delim + "\"";
+    size_t at = s.find(close, start);
+    return at == std::string::npos ? std::string::npos : at + close.size();
+}
+
+} // namespace
+
+bool
+LexedFile::inLiteral(size_t pos) const
+{
+    for (const Token &t : tokens) {
+        if (t.kind != TokKind::String && t.kind != TokKind::RawString &&
+            t.kind != TokKind::CharLit) {
+            continue;
+        }
+        const size_t off =
+            static_cast<size_t>(t.text.data() - content.data());
+        if (pos >= off && pos < off + t.text.size())
+            return true;
+    }
+    return false;
+}
+
+LexedFile
+lexFile(std::string path, std::string content)
+{
+    LexedFile f;
+    f.path = std::move(path);
+    f.content = std::move(content);
+
+    // Physical lines (newline excluded) and their byte offsets.
+    {
+        size_t start = 0;
+        const std::string &s = f.content;
+        while (start <= s.size()) {
+            size_t nl = s.find('\n', start);
+            if (nl == std::string::npos) {
+                if (start < s.size()) {
+                    f.lines.emplace_back(&s[start], s.size() - start);
+                    f.lineStarts.push_back(start);
+                }
+                break;
+            }
+            f.lines.emplace_back(s.data() + start, nl - start);
+            f.lineStarts.push_back(start);
+            start = nl + 1;
+        }
+    }
+
+    const std::string &s = f.content;
+    Cursor c{s};
+    bool atLineStart = true;    //!< only whitespace seen on this line
+
+    auto makeToken = [&](TokKind kind, size_t begin, int line, int col) {
+        Token t;
+        t.kind = kind;
+        t.text = std::string_view(s.data() + begin, c.pos - begin);
+        t.line = line;
+        t.col = col;
+        t.endLine = c.line;
+        // endLine counts the line of the character *after* the token
+        // when the token ends exactly at a newline; clamp to the last
+        // line that holds token text.
+        if (c.pos > begin && s[c.pos - 1] == '\n')
+            --t.endLine;
+        f.tokens.push_back(t);
+    };
+
+    while (!c.done()) {
+        const char ch = c.peek();
+        const size_t begin = c.pos;
+        const int line = c.line, col = c.col;
+
+        if (ch == '\n') {
+            atLineStart = true;
+            c.advance();
+            continue;
+        }
+        if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\v' ||
+            ch == '\f') {
+            c.advance();
+            continue;
+        }
+
+        // Preprocessor directive: '#' first on the line; consume the
+        // logical line including backslash continuations. Comments
+        // inside the directive stay part of the directive token.
+        if (ch == '#' && atLineStart) {
+            while (!c.done() && c.peek() != '\n')
+                c.advance();
+            while (!c.done() && c.pos >= 1 && s[c.pos - 1] == '\\') {
+                c.advance();    // consume the newline
+                while (!c.done() && c.peek() != '\n')
+                    c.advance();
+            }
+            makeToken(TokKind::Preprocessor, begin, line, col);
+            atLineStart = true;
+            continue;
+        }
+        atLineStart = false;
+
+        // Comments.
+        if (ch == '/' && c.peek(1) == '/') {
+            while (!c.done() && c.peek() != '\n')
+                c.advance();
+            makeToken(TokKind::Comment, begin, line, col);
+            continue;
+        }
+        if (ch == '/' && c.peek(1) == '*') {
+            c.advance();
+            c.advance();
+            while (!c.done() &&
+                   !(c.peek() == '*' && c.peek(1) == '/')) {
+                c.advance();
+            }
+            if (!c.done()) {
+                c.advance();
+                c.advance();
+            }
+            makeToken(TokKind::Comment, begin, line, col);
+            continue;
+        }
+
+        // Identifier — or the prefix of a string/raw-string literal
+        // (L"", u8"", R"(..)", u8R"(..)", ...).
+        if (identStart(ch)) {
+            size_t idEnd = c.pos;
+            while (idEnd < s.size() && identChar(s[idEnd]))
+                ++idEnd;
+            const std::string_view id(s.data() + c.pos, idEnd - c.pos);
+            const bool rawPrefix =
+                (id == "R" || id == "LR" || id == "uR" || id == "UR" ||
+                 id == "u8R");
+            const bool strPrefix =
+                (id == "L" || id == "u" || id == "U" || id == "u8");
+            if (rawPrefix && idEnd < s.size() && s[idEnd] == '"') {
+                // R"delim( ... )delim"
+                size_t dstart = idEnd + 1;
+                size_t paren = s.find('(', dstart);
+                std::string delim =
+                    paren == std::string::npos
+                        ? std::string()
+                        : s.substr(dstart, paren - dstart);
+                size_t end =
+                    paren == std::string::npos
+                        ? std::string::npos
+                        : findRawEnd(s, paren + 1, delim);
+                if (end == std::string::npos)
+                    end = s.size();
+                while (c.pos < end)
+                    c.advance();
+                makeToken(TokKind::RawString, begin, line, col);
+                continue;
+            }
+            if (strPrefix && idEnd < s.size() &&
+                (s[idEnd] == '"' || s[idEnd] == '\'')) {
+                // Fall through to the literal scanners below after
+                // consuming the prefix.
+                while (c.pos < idEnd)
+                    c.advance();
+            } else {
+                while (c.pos < idEnd)
+                    c.advance();
+                makeToken(TokKind::Identifier, begin, line, col);
+                continue;
+            }
+        }
+
+        // String / char literals with escapes.
+        if (c.peek() == '"' || c.peek() == '\'') {
+            const char quote = c.peek();
+            c.advance();
+            while (!c.done() && c.peek() != quote &&
+                   c.peek() != '\n') {
+                if (c.peek() == '\\' && c.pos + 1 < s.size())
+                    c.advance();
+                c.advance();
+            }
+            if (!c.done() && c.peek() == quote)
+                c.advance();
+            makeToken(quote == '"' ? TokKind::String : TokKind::CharLit,
+                      begin, line, col);
+            continue;
+        }
+
+        // pp-number: digits, dots, identifier chars, exponent signs.
+        if (std::isdigit(static_cast<unsigned char>(ch)) ||
+            (ch == '.' &&
+             std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+            c.advance();
+            while (!c.done()) {
+                const char n = c.peek();
+                if (identChar(n) || n == '.') {
+                    c.advance();
+                } else if (n == '\'' && c.pos + 1 < s.size() &&
+                           identChar(s[c.pos + 1])) {
+                    c.advance();    // C++14 digit separator
+                    c.advance();
+                } else if ((n == '+' || n == '-') && c.pos > begin &&
+                           (s[c.pos - 1] == 'e' || s[c.pos - 1] == 'E' ||
+                            s[c.pos - 1] == 'p' || s[c.pos - 1] == 'P')) {
+                    c.advance();
+                } else {
+                    break;
+                }
+            }
+            makeToken(TokKind::Number, begin, line, col);
+            continue;
+        }
+
+        // Anything else: one punctuation character.
+        c.advance();
+        makeToken(TokKind::Punct, begin, line, col);
+    }
+
+    return f;
+}
+
+} // namespace tproc::lint

@@ -1,5 +1,7 @@
 #include "replay/replay_source.hh"
 
+#include <string>
+
 #include "common/logging.hh"
 
 namespace tproc::replay
@@ -23,12 +25,16 @@ ReplaySource::step()
     panic_if(isHalted, "ReplaySource::step after halt");
     StepResult s;
     if (!cursor.next(s)) {
-        panic("replay: trace %s exhausted after %llu steps without HALT "
-              "(captured with cap %llu; re-record with a higher "
-              "instruction limit)",
-              reader->meta().workload.c_str(),
-              static_cast<unsigned long long>(cursor.stepsRead()),
-              static_cast<unsigned long long>(reader->meta().captureCap));
+        // A truncated capture is a property of the trace file, not a
+        // simulator bug: throw the structured trace error so harnesses
+        // can attribute it (and tell the user to re-record) instead of
+        // dying in panic's abort path.
+        throw TraceError(
+            "replay: trace " + reader->meta().workload +
+            " exhausted after " + std::to_string(cursor.stepsRead()) +
+            " steps without HALT (captured with cap " +
+            std::to_string(reader->meta().captureCap) +
+            "; re-record with a higher instruction limit)");
     }
     if (s.halted)
         isHalted = true;

@@ -259,7 +259,7 @@ TraceStore::ensure(const std::string &workload, uint64_t seed,
         return r;
     {
         auto &cache = readerCache();
-        std::lock_guard<std::mutex> clock(cache.mutex);
+        std::lock_guard<std::mutex> cacheLock(cache.mutex);
         cache.drop(path);
     }
 

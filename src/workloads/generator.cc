@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/parse.hh"
 #include "common/random.hh"
 #include "workloads/patterns.hh"
 
@@ -281,11 +282,8 @@ parsePatternMix(const std::string &mix)
         if (star != std::string::npos) {
             const std::string w = term.substr(star + 1);
             term = term.substr(0, star);
-            if (w.empty() ||
-                w.find_first_not_of("0123456789") != std::string::npos) {
+            if (!parseU64(w, weight))
                 badMix(mix, "weight '" + w + "' is not a positive integer");
-            }
-            weight = std::strtoull(w.c_str(), nullptr, 10);
             if (weight == 0)
                 badMix(mix, "weight must be >= 1");
         }
@@ -338,11 +336,10 @@ parseGeneratedName(const std::string &name)
     ParsedGenName p;
     p.mix = rest.substr(0, colon);
     const std::string idxStr = rest.substr(colon + 1);
-    if (idxStr.find_first_not_of("0123456789") != std::string::npos) {
+    if (!parseU64(idxStr, p.index)) {
         throw UnknownWorkloadError("generated-workload index '" + idxStr +
                                    "' is not a non-negative integer");
     }
-    p.index = std::strtoull(idxStr.c_str(), nullptr, 10);
     p.shares = parsePatternMix(p.mix);
     return p;
 }

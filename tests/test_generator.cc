@@ -128,6 +128,19 @@ TEST(Generator, MixParserAcceptsWeightsRejectsTypos)
     EXPECT_THROW(parsePatternMix("fgci+"), UnknownWorkloadError);
 }
 
+TEST(Generator, OverflowingWeightAndIndexAreRejected)
+{
+    // Regression: all-digits inputs used to pre-pass the digit check
+    // and then silently saturate through strtoull (weight ->
+    // ULLONG_MAX corrupts the weighted draw; index -> wrong program).
+    // The strict parsers reject the overflow outright.
+    const std::string big = "99999999999999999999";     // > 2^64
+    EXPECT_THROW(parsePatternMix("fgci*" + big), UnknownWorkloadError);
+    EXPECT_THROW(validateGeneratedName("gen:fgci:" + big),
+                 UnknownWorkloadError);
+    validateGeneratedName("gen:fgci:18446744073709551615");    // 2^64-1
+}
+
 TEST(Generator, UnknownWorkloadErrorListsTheMenu)
 {
     try {

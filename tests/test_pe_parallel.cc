@@ -29,6 +29,7 @@
 
 #include <unistd.h>
 
+#include "common/parse.hh"
 #include "core/processor.hh"
 #include "core/runner.hh"
 #include "harness/golden.hh"
@@ -48,9 +49,10 @@ namespace fs = std::filesystem;
 uint64_t
 testInsts()
 {
-    if (const char *e = std::getenv("TPROC_PE_TEST_INSTS"))
-        return std::strtoull(e, nullptr, 10);
-    return 20000;
+    uint64_t insts = 20000;
+    if (!parseEnvU64("TPROC_PE_TEST_INSTS", insts))
+        ADD_FAILURE() << "malformed TPROC_PE_TEST_INSTS";
+    return insts;
 }
 
 /** Capture-once trace directory shared by every replay-mode case in

@@ -6,23 +6,29 @@
  * The numeric parsers are strict by design: "--insts=abc" or
  * "--seed=1x" must be a usage error, never a silent zero (the strtoull
  * default) or an uncaught std::invalid_argument (the std::stoull
- * default). docs/cli.md documents the conventions.
+ * default). The parsers themselves live in src/common/parse.hh so
+ * library code shares them; this header re-exports them under
+ * tproc::cli. docs/cli.md documents the conventions.
  */
 
 #ifndef TPROC_TOOLS_CLI_HH
 #define TPROC_TOOLS_CLI_HH
 
-#include <cerrno>
 #include <cstdint>
-#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/parse.hh"
+
 namespace tproc::cli
 {
+
+using tproc::parseU64;
+using tproc::parseU32;
+using tproc::parseInt;
 
 /** Match "--key=value"; on success value receives everything after
  *  the '='. */
@@ -51,46 +57,6 @@ splitList(const std::string &s)
         pos = comma + 1;
     }
     return out;
-}
-
-/** Strict decimal uint64 parse: every character a digit, no overflow.
- *  On failure `out` is untouched. */
-inline bool
-parseU64(const std::string &v, uint64_t &out)
-{
-    if (v.empty() ||
-        v.find_first_not_of("0123456789") != std::string::npos) {
-        return false;
-    }
-    errno = 0;
-    char *end = nullptr;
-    unsigned long long x = std::strtoull(v.c_str(), &end, 10);
-    if (errno == ERANGE || end != v.c_str() + v.size())
-        return false;
-    out = static_cast<uint64_t>(x);
-    return true;
-}
-
-/** Strict decimal parse into unsigned (32-bit range checked). */
-inline bool
-parseU32(const std::string &v, unsigned &out)
-{
-    uint64_t x;
-    if (!parseU64(v, x) || x > 0xffffffffULL)
-        return false;
-    out = static_cast<unsigned>(x);
-    return true;
-}
-
-/** Strict decimal parse into a non-negative int. */
-inline bool
-parseInt(const std::string &v, int &out)
-{
-    uint64_t x;
-    if (!parseU64(v, x) || x > 0x7fffffffULL)
-        return false;
-    out = static_cast<int>(x);
-    return true;
 }
 
 /**

@@ -94,6 +94,7 @@
 
 #include "common/hires_timer.hh"
 #include "common/stats.hh"
+#include "core/config.hh"
 #include "core/runner.hh"
 #include "harness/golden.hh"
 #include "harness/journal.hh"
@@ -428,6 +429,19 @@ main(int argc, char **argv)
         std::cerr << "tproc-sweep: " << e.what() << '\n';
         usage(std::cerr);
         return 2;
+    }
+
+    // Model names get the same up-front validation: a typo'd --models
+    // entry is a usage error before any point runs, not a per-point
+    // fault mid-sweep.
+    for (const std::string &m : models) {
+        try {
+            (void)ProcessorConfig::forModel(m);
+        } catch (const ConfigError &e) {
+            std::cerr << "tproc-sweep: " << e.what() << '\n';
+            usage(std::cerr);
+            return 2;
+        }
     }
 
     if (soak) {
